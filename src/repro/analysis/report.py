@@ -1,0 +1,59 @@
+"""Rendering helpers: ASCII tables and series matching the paper's layout.
+
+Benchmarks print their reproduced rows through these functions so that
+``pytest benchmarks/ --benchmark-only`` output can be compared side by side
+with the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "render_timeseries"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Format rows as a padded ASCII table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Iterable[tuple], unit: str = "") -> str:
+    """Format an (x, y) series compactly, one point per line."""
+    lines = [f"{name}{f' ({unit})' if unit else ''}:"]
+    for point in points:
+        x, *ys = point
+        lines.append("  " + _fmt(x) + " -> " + ", ".join(_fmt(y) for y in ys))
+    return "\n".join(lines)
+
+
+def render_timeseries(
+    name: str, series: Iterable[tuple], step_label: str = "t"
+) -> str:
+    """Format (time, min, median, max) aggregate view series (Figures 1,
+    7-10): a wide min-max band shows inconsistent views across processes."""
+    lines = [f"{name} [{step_label}: min / median / max of per-node views]"]
+    for t, lo, med, hi in series:
+        lines.append(f"  {step_label}={_fmt(t):>7}  {lo:>6} / {med:>6} / {hi:>6}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,58 @@
+"""Statistics helpers used by the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["percentile", "mean", "stddev", "ecdf", "summarize"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for empty input (experiment-friendly)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) with linear interpolation."""
+    values = sorted(values)
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    rank = (p / 100.0) * (len(values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return values[low]
+    frac = rank - low
+    return values[low] * (1 - frac) + values[high] * frac
+
+
+def ecdf(values: Iterable[float]) -> list:
+    """Empirical CDF as a list of (value, cumulative fraction) points."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean / p50 / p99 / max summary, as the paper's Table 2 reports."""
+    return {
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p99": percentile(values, 99),
+        "max": max(values) if values else 0.0,
+    }

@@ -1,0 +1,19 @@
+"""End-to-end applications built on the membership services (paper sec. 7)."""
+
+from repro.apps.txn_platform import DataServer, TxnClient, TxnPlatformConfig
+from repro.apps.service_discovery import (
+    Backend,
+    LoadBalancer,
+    ServiceDiscoveryConfig,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    "DataServer",
+    "TxnClient",
+    "TxnPlatformConfig",
+    "Backend",
+    "LoadBalancer",
+    "ServiceDiscoveryConfig",
+    "WorkloadGenerator",
+]

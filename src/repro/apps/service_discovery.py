@@ -1,0 +1,286 @@
+"""Service discovery workload (paper section 7, Figure 13).
+
+A load balancer discovers a fleet of backend web servers through a
+membership service and rewrites its configuration on every membership
+change — the Terraform + Serf + nginx deployment of the paper, in model
+form:
+
+* the **load balancer** forwards each request round-robin over its
+  *configured* backend list.  The configured list only changes when a
+  configuration reload completes; reloads take ``reload_duration`` and add
+  latency to requests serviced while one is in flight (nginx re-exec'ing
+  workers);
+* requests routed to a dead-but-still-configured backend time out at the
+  LB and are retried on the next backend — the other source of tail
+  latency;
+* the **workload generator** issues requests at a constant rate and records
+  end-to-end latency.
+
+With a SWIM/Serf agent the ten backend failures arrive as several separate
+membership updates, each triggering a reload; with Rapid they arrive as one
+multi-node view change and a single reload — the difference Figure 13
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.node_id import Endpoint
+from repro.runtime.base import Runtime
+from repro.runtime.dispatch import TypeDispatcher
+
+__all__ = [
+    "Backend",
+    "LoadBalancer",
+    "WorkloadGenerator",
+    "ServiceDiscoveryConfig",
+    "HttpRequest",
+    "HttpResponse",
+]
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    sender: Endpoint
+    request_id: int
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    sender: Endpoint
+    request_id: int
+
+
+@dataclass
+class ServiceDiscoveryConfig:
+    backend_service_time: float = 0.002
+    reload_duration: float = 1.0
+    reload_penalty: float = 0.2  # extra delay for requests during a reload
+    backend_timeout: float = 1.0
+    max_retries: int = 3
+    request_rate: float = 200.0  # requests per second from the generator
+
+
+class Backend:
+    """A web server answering static-page requests after a service time."""
+
+    def __init__(
+        self,
+        dispatcher: TypeDispatcher,
+        config: Optional[ServiceDiscoveryConfig] = None,
+    ) -> None:
+        self.runtime = dispatcher.runtime
+        self.addr = self.runtime.addr
+        self.config = config or ServiceDiscoveryConfig()
+        self._busy_until = 0.0
+        self.served = 0
+        dispatcher.add(self._on_request, HttpRequest)
+
+    def _on_request(self, src: Endpoint, msg: HttpRequest) -> None:
+        now = self.runtime.now()
+        start = max(now, self._busy_until)
+        self._busy_until = start + self.config.backend_service_time
+        self.served += 1
+        self.runtime.schedule(
+            self._busy_until - now,
+            self.runtime.send,
+            src,
+            HttpResponse(sender=self.addr, request_id=msg.request_id),
+        )
+
+
+@dataclass
+class _Pending:
+    client: Endpoint
+    request_id: int
+    started: float
+    attempts: int = 0
+    done: bool = False
+
+
+class LoadBalancer:
+    """Round-robin LB whose backend list follows the membership service."""
+
+    def __init__(
+        self,
+        dispatcher: TypeDispatcher,
+        backends: Iterable[Endpoint],
+        config: Optional[ServiceDiscoveryConfig] = None,
+    ) -> None:
+        self.runtime = dispatcher.runtime
+        self.addr = self.runtime.addr
+        self.config = config or ServiceDiscoveryConfig()
+        self.configured: tuple = tuple(sorted(backends))
+        self._desired: tuple = self.configured
+        self._reload_target: tuple = self.configured
+        self._rr = 0
+        self._reloading_until: Optional[float] = None
+        self._reload_pending = False
+        self.reloads = 0
+        self._pending: dict[int, _Pending] = {}
+        self._backend_inflight: dict[int, int] = {}  # request id -> attempt
+        dispatcher.add(self._on_client_request, HttpRequest)
+        dispatcher.add(self._on_backend_response, HttpResponse)
+
+    # ------------------------------------------------------------- membership
+
+    def on_view_change(self, members: Iterable[Endpoint]) -> None:
+        """Called by the embedded membership agent.  ``members`` may include
+        the LB itself, which never appears in its own backend list."""
+        desired = tuple(sorted(ep for ep in members if ep != self.addr))
+        if desired == self._desired:
+            return
+        self._desired = desired
+        self._schedule_reload()
+
+    def _schedule_reload(self) -> None:
+        if self._reloading_until is not None:
+            # A reload is running with the config written at its start; the
+            # newer change will trigger a follow-up reload when it finishes.
+            self._reload_pending = True
+            return
+        self.reloads += 1
+        self._reload_target = self._desired
+        self._reloading_until = self.runtime.now() + self.config.reload_duration
+        self.runtime.schedule(self.config.reload_duration, self._finish_reload)
+
+    def _finish_reload(self) -> None:
+        self._reloading_until = None
+        self.configured = self._reload_target
+        self._rr = 0
+        if self._reload_pending:
+            self._reload_pending = False
+            if self.configured != self._desired:
+                self._schedule_reload()
+
+    def _reload_delay(self) -> float:
+        if self._reloading_until is None:
+            return 0.0
+        return self.config.reload_penalty
+
+    # --------------------------------------------------------------- requests
+
+    def _on_client_request(self, src: Endpoint, msg: HttpRequest) -> None:
+        pending = _Pending(
+            client=src, request_id=msg.request_id, started=self.runtime.now()
+        )
+        self._pending[msg.request_id] = pending
+        self._forward(pending)
+
+    def _forward(self, pending: _Pending) -> None:
+        if pending.done or not self.configured:
+            return
+        pending.attempts += 1
+        backend = self.configured[self._rr % len(self.configured)]
+        self._rr += 1
+        attempt = pending.attempts
+        self._backend_inflight[pending.request_id] = attempt
+        delay = self._reload_delay()
+        self.runtime.schedule(
+            delay,
+            self.runtime.send,
+            backend,
+            HttpRequest(sender=self.addr, request_id=pending.request_id),
+        )
+        self.runtime.schedule(
+            delay + self.config.backend_timeout,
+            self._backend_timeout,
+            pending.request_id,
+            attempt,
+        )
+
+    def _backend_timeout(self, request_id: int, attempt: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None or pending.done:
+            return
+        if self._backend_inflight.get(request_id) != attempt:
+            return
+        if pending.attempts < self.config.max_retries:
+            self._forward(pending)
+        else:
+            # Give up; the client's own timeout handles it.
+            self._pending.pop(request_id, None)
+
+    def _on_backend_response(self, src: Endpoint, msg: HttpResponse) -> None:
+        pending = self._pending.pop(msg.request_id, None)
+        if pending is None or pending.done:
+            return
+        pending.done = True
+        self._backend_inflight.pop(msg.request_id, None)
+        self.runtime.schedule(
+            self._reload_delay(),
+            self.runtime.send,
+            pending.client,
+            HttpResponse(sender=self.addr, request_id=msg.request_id),
+        )
+
+
+class WorkloadGenerator:
+    """Constant-rate HTTP client measuring end-to-end latency."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        lb: Endpoint,
+        config: Optional[ServiceDiscoveryConfig] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.addr = runtime.addr
+        self.lb = lb
+        self.config = config or ServiceDiscoveryConfig()
+        self._next_id = 0
+        self._sent: dict[int, float] = {}
+        self.latencies: list[tuple] = []  # (completion time, latency)
+        self.timeouts = 0
+        self._running = False
+        runtime.attach(self.on_message)
+
+    def start(self) -> None:
+        self._running = True
+        self.runtime.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._next_id += 1
+        request_id = self._next_id
+        self._sent[request_id] = self.runtime.now()
+        self.runtime.send(self.lb, HttpRequest(sender=self.addr, request_id=request_id))
+        self.runtime.schedule(5.0, self._request_timeout, request_id)
+        self.runtime.schedule(1.0 / self.config.request_rate, self._tick)
+
+    def _request_timeout(self, request_id: int) -> None:
+        if self._sent.pop(request_id, None) is not None:
+            self.timeouts += 1
+
+    def on_message(self, src: Endpoint, msg) -> None:
+        if isinstance(msg, HttpResponse):
+            started = self._sent.pop(msg.request_id, None)
+            if started is not None:
+                now = self.runtime.now()
+                self.latencies.append((now, now - started))
+
+    def latency_series(self, bucket: float = 1.0) -> list:
+        """(time bucket, p50, p99, max) latency in milliseconds."""
+        from repro.analysis.stats import percentile
+
+        by_bucket: dict[int, list] = {}
+        for t, latency in self.latencies:
+            by_bucket.setdefault(int(t / bucket), []).append(latency * 1000.0)
+        out = []
+        for b in sorted(by_bucket):
+            values = by_bucket[b]
+            out.append(
+                (
+                    b * bucket,
+                    percentile(values, 50),
+                    percentile(values, 99),
+                    max(values),
+                )
+            )
+        return out

@@ -1,0 +1,368 @@
+"""Distributed transactional data platform (paper section 7, Figure 12).
+
+A model of the end-to-end workload the paper integrated Rapid into: a data
+platform with a single active *transaction serialization server* (a
+timestamp oracle in the style of Megastore/Omid).  Data servers form a
+membership group; the serializer is the lowest-addressed live server in the
+current view.  A view change that moves the serializer triggers a failover:
+a Paxos-style reconfiguration pause during which transactions stall.
+
+Transactions are two steps: fetch a timestamp from the serializer, then
+write to ``writes_per_txn`` data servers.  Clients retry on timeout and
+re-resolve the serializer from the view they read off the servers.
+
+The experiment: a packet blackhole between the serializer and one data
+server.  With the all-to-all gossip failure detector
+(:class:`~repro.baselines.gossip_fd.GossipFdNode`), the lone isolated
+observer repeatedly declares the serializer dead while everyone else
+resurrects it — repeated failovers, collapsed throughput.  With Rapid the
+single observer's reports stay below the low watermark ``L`` and nothing
+happens ("because no node exceeded L reports").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.node_id import Endpoint
+from repro.runtime.base import Runtime
+from repro.runtime.dispatch import TypeDispatcher
+
+__all__ = [
+    "DataServer",
+    "TxnClient",
+    "TxnPlatformConfig",
+    "TsRequest",
+    "TsResponse",
+    "NotSerializer",
+    "WriteRequest",
+    "WriteAck",
+    "ViewRequest",
+    "ViewResponse",
+]
+
+
+# ------------------------------------------------------------------ messages
+
+
+@dataclass(frozen=True)
+class TsRequest:
+    sender: Endpoint
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class TsResponse:
+    sender: Endpoint
+    txn_id: int
+    timestamp: int
+
+
+@dataclass(frozen=True)
+class NotSerializer:
+    """Reply from a server that does not believe it is the serializer."""
+
+    sender: Endpoint
+    txn_id: int
+    hint: Optional[Endpoint] = None
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    sender: Endpoint
+    txn_id: int
+    timestamp: int
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    sender: Endpoint
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class ViewRequest:
+    sender: Endpoint
+
+
+@dataclass(frozen=True)
+class ViewResponse:
+    sender: Endpoint
+    members: tuple = ()
+
+
+@dataclass
+class TxnPlatformConfig:
+    failover_pause: float = 2.0  # Paxos reconfiguration stall on failover
+    write_service_time: float = 0.002
+    ts_service_time: float = 0.0005
+    client_timeout: float = 1.0
+    writes_per_txn: int = 2
+    concurrency: int = 8  # outstanding transactions per client
+    view_refresh_interval: float = 1.0
+
+
+class DataServer:
+    """A data server; also serves timestamps when it is the serializer.
+
+    ``membership_view`` is updated by the embedded membership agent through
+    :meth:`on_view_change`; serializer identity is derived from it.
+    """
+
+    def __init__(
+        self,
+        dispatcher: TypeDispatcher,
+        server_set: Iterable[Endpoint],
+        config: Optional[TxnPlatformConfig] = None,
+    ) -> None:
+        self.runtime = dispatcher.runtime
+        self.addr = self.runtime.addr
+        self.config = config or TxnPlatformConfig()
+        self.server_set = tuple(sorted(server_set))
+        self.view: tuple = self.server_set
+        self._timestamp = 0
+        self._busy_until = 0.0
+        self._serializer_since: Optional[float] = None
+        self._queued_ts: list[tuple] = []
+        self.failovers_observed = 0
+        dispatcher.add(self._on_ts_request, TsRequest)
+        dispatcher.add(self._on_write, WriteRequest)
+        dispatcher.add(self._on_view_request, ViewRequest)
+
+    # ------------------------------------------------------------- membership
+
+    def on_view_change(self, members: Iterable[Endpoint]) -> None:
+        """Feed from the membership agent (Rapid callback or baseline)."""
+        old_serializer = self.serializer()
+        self.view = tuple(sorted(members))
+        new_serializer = self.serializer()
+        if new_serializer != old_serializer:
+            self.failovers_observed += 1
+            if new_serializer == self.addr:
+                # We just became the serializer: reconfiguration pause before
+                # serving (paper: "workloads are paused and clients do not
+                # make progress" during failover).
+                self._serializer_since = self.runtime.now() + self.config.failover_pause
+                self.runtime.schedule(self.config.failover_pause, self._drain_queued)
+
+    def serializer(self) -> Optional[Endpoint]:
+        candidates = [ep for ep in self.view if ep in set(self.server_set)]
+        return min(candidates) if candidates else None
+
+    def _is_active_serializer(self) -> bool:
+        if self.serializer() != self.addr:
+            return False
+        if self._serializer_since is None:
+            # We were the serializer from the start; no failover pause.
+            self._serializer_since = 0.0
+        return self.runtime.now() >= self._serializer_since
+
+    # --------------------------------------------------------------- requests
+
+    def _service_delay(self, cost: float) -> float:
+        now = self.runtime.now()
+        start = max(now, self._busy_until)
+        self._busy_until = start + cost
+        return self._busy_until - now
+
+    def _on_ts_request(self, src: Endpoint, msg: TsRequest) -> None:
+        if self.serializer() != self.addr:
+            self.runtime.send(
+                msg.sender,
+                NotSerializer(sender=self.addr, txn_id=msg.txn_id, hint=self.serializer()),
+            )
+            return
+        if not self._is_active_serializer():
+            self._queued_ts.append((src, msg))
+            return
+        self._serve_ts(msg)
+
+    def _serve_ts(self, msg: TsRequest) -> None:
+        self._timestamp += 1
+        response = TsResponse(
+            sender=self.addr, txn_id=msg.txn_id, timestamp=self._timestamp
+        )
+        self.runtime.schedule(
+            self._service_delay(self.config.ts_service_time),
+            self.runtime.send,
+            msg.sender,
+            response,
+        )
+
+    def _drain_queued(self) -> None:
+        if not self._is_active_serializer():
+            return
+        queued, self._queued_ts = self._queued_ts, []
+        for _src, msg in queued:
+            self._serve_ts(msg)
+
+    def _on_write(self, src: Endpoint, msg: WriteRequest) -> None:
+        ack = WriteAck(sender=self.addr, txn_id=msg.txn_id)
+        self.runtime.schedule(
+            self._service_delay(self.config.write_service_time),
+            self.runtime.send,
+            msg.sender,
+            ack,
+        )
+
+    def _on_view_request(self, src: Endpoint, msg: ViewRequest) -> None:
+        self.runtime.send(msg.sender, ViewResponse(sender=self.addr, members=self.view))
+
+
+@dataclass
+class _Txn:
+    txn_id: int
+    started: float
+    timestamp: Optional[int] = None
+    acks: int = 0
+    done: bool = False
+
+
+class TxnClient:
+    """An update-heavy client issuing timestamp+write transactions."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        servers: Iterable[Endpoint],
+        config: Optional[TxnPlatformConfig] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.addr = runtime.addr
+        self.config = config or TxnPlatformConfig()
+        self.servers = tuple(sorted(servers))
+        self.view: tuple = self.servers
+        self._next_txn = 0
+        self._inflight: dict[int, _Txn] = {}
+        self.latencies: list[tuple] = []  # (commit time, latency seconds)
+        self.committed = 0
+        self.retries = 0
+        self._running = False
+        runtime.attach(self.on_message)
+
+    def start(self) -> None:
+        self._running = True
+        for _ in range(self.config.concurrency):
+            self._begin_txn()
+        self.runtime.schedule(self.config.view_refresh_interval, self._view_tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def throughput_series(self, bucket: float = 1.0) -> dict:
+        """Committed transactions per time bucket."""
+        series: dict[int, int] = {}
+        for commit_time, _latency in self.latencies:
+            series[int(commit_time / bucket)] = series.get(int(commit_time / bucket), 0) + 1
+        return series
+
+    # ------------------------------------------------------------------ txns
+
+    def _serializer(self) -> Optional[Endpoint]:
+        candidates = [ep for ep in self.view if ep in set(self.servers)]
+        return min(candidates) if candidates else None
+
+    def _begin_txn(self) -> None:
+        if not self._running:
+            return
+        self._next_txn += 1
+        txn = _Txn(txn_id=self._next_txn, started=self.runtime.now())
+        self._inflight[txn.txn_id] = txn
+        self._request_ts(txn)
+
+    def _request_ts(self, txn: _Txn) -> None:
+        target = self._serializer()
+        if target is None:
+            self.runtime.schedule(0.1, self._retry_ts, txn.txn_id)
+            return
+        self.runtime.send(target, TsRequest(sender=self.addr, txn_id=txn.txn_id))
+        self.runtime.schedule(self.config.client_timeout, self._ts_timeout, txn.txn_id)
+
+    def _retry_ts(self, txn_id: int) -> None:
+        txn = self._inflight.get(txn_id)
+        if txn is not None and txn.timestamp is None:
+            self.retries += 1
+            self._request_ts(txn)
+
+    def _ts_timeout(self, txn_id: int) -> None:
+        txn = self._inflight.get(txn_id)
+        if txn is not None and txn.timestamp is None:
+            self.retries += 1
+            self._refresh_view()
+            self._request_ts(txn)
+
+    def _writes_for(self, txn: _Txn) -> list:
+        live = [ep for ep in self.view if ep in set(self.servers)] or list(self.servers)
+        count = min(self.config.writes_per_txn, len(live))
+        return self.runtime.rng.sample(live, count)
+
+    # --------------------------------------------------------------- messages
+
+    def on_message(self, src: Endpoint, msg) -> None:
+        if isinstance(msg, TsResponse):
+            txn = self._inflight.get(msg.txn_id)
+            if txn is None or txn.timestamp is not None:
+                return
+            txn.timestamp = msg.timestamp
+            for server in self._writes_for(txn):
+                self.runtime.send(
+                    server,
+                    WriteRequest(
+                        sender=self.addr, txn_id=txn.txn_id, timestamp=msg.timestamp
+                    ),
+                )
+            self.runtime.schedule(
+                self.config.client_timeout, self._write_timeout, txn.txn_id
+            )
+        elif isinstance(msg, NotSerializer):
+            txn = self._inflight.get(msg.txn_id)
+            if txn is not None and txn.timestamp is None:
+                self._refresh_view()
+                self.runtime.schedule(0.05, self._retry_ts, msg.txn_id)
+        elif isinstance(msg, WriteAck):
+            txn = self._inflight.get(msg.txn_id)
+            if txn is None or txn.done:
+                return
+            txn.acks += 1
+            if txn.acks >= min(self.config.writes_per_txn, len(self.servers)):
+                self._commit(txn)
+        elif isinstance(msg, ViewResponse):
+            self.view = msg.members
+
+    def _write_timeout(self, txn_id: int) -> None:
+        txn = self._inflight.get(txn_id)
+        if txn is not None and not txn.done and txn.timestamp is not None:
+            # Retry the writes (idempotent by txn id in this model).
+            self.retries += 1
+            txn.acks = 0
+            for server in self._writes_for(txn):
+                self.runtime.send(
+                    server,
+                    WriteRequest(
+                        sender=self.addr, txn_id=txn.txn_id, timestamp=txn.timestamp
+                    ),
+                )
+            self.runtime.schedule(
+                self.config.client_timeout, self._write_timeout, txn_id
+            )
+
+    def _commit(self, txn: _Txn) -> None:
+        txn.done = True
+        del self._inflight[txn.txn_id]
+        now = self.runtime.now()
+        self.latencies.append((now, now - txn.started))
+        self.committed += 1
+        self._begin_txn()
+
+    # ------------------------------------------------------------------- view
+
+    def _view_tick(self) -> None:
+        if not self._running:
+            return
+        self._refresh_view()
+        self.runtime.schedule(self.config.view_refresh_interval, self._view_tick)
+
+    def _refresh_view(self) -> None:
+        target = self.servers[self.runtime.rng.randrange(len(self.servers))]
+        self.runtime.send(target, ViewRequest(sender=self.addr))

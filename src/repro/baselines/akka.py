@@ -1,0 +1,236 @@
+"""Akka-Cluster-like gossip membership baseline.
+
+Models the behaviors that make Akka Cluster unstable in the paper's
+Figure 1 experiment (80% packet loss on 1% of processes):
+
+* full-state **gossip** every second to a random peer, merged with
+  per-member version counters (a simplification of Akka's vector clocks);
+* a **phi-accrual failure detector** over heartbeats to a handful of ring
+  neighbors (Akka's default ``monitored-by-nr-of-members = 5``, phi
+  threshold 8);
+* **reachability rumors**: marking a member unreachable/reachable bumps its
+  record version, so conflicting observations from different monitors race
+  each other around the cluster — the "conflicting rumors ... propagate in
+  the cluster concurrently" of section 2;
+* **auto-downing**: a member continuously unreachable past a timeout is
+  removed.  Removal is terminal (the node must rejoin), which is how benign
+  but slow processes get ejected, exactly the pathology the paper observed.
+
+View size counts members in the ``up`` state, matching how an application
+sees Akka's usable cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.baselines.common import MembershipAgent
+from repro.core.node_id import Endpoint
+from repro.detectors.phi_accrual import PhiAccrualDetector
+from repro.runtime.base import Runtime
+
+__all__ = ["AkkaNode", "AkkaConfig"]
+
+UP = "up"
+UNREACHABLE = "unreachable"
+REMOVED = "removed"
+
+_RANK = {UP: 0, UNREACHABLE: 1, REMOVED: 2}
+
+
+@dataclass(frozen=True)
+class AkkaGossip:
+    sender: Endpoint
+    state: tuple = ()  # ((endpoint, status, version), ...)
+
+
+@dataclass(frozen=True)
+class AkkaHeartbeat:
+    sender: Endpoint
+
+
+@dataclass(frozen=True)
+class AkkaHeartbeatAck:
+    sender: Endpoint
+
+
+@dataclass(frozen=True)
+class AkkaJoin:
+    sender: Endpoint
+
+
+@dataclass
+class AkkaConfig:
+    gossip_interval: float = 1.0
+    heartbeat_interval: float = 1.0
+    monitored_members: int = 5
+    phi_threshold: float = 8.0
+    auto_down_after: float = 10.0
+    fd_check_interval: float = 1.0
+
+
+class AkkaNode(MembershipAgent):
+    def __init__(
+        self,
+        runtime: Runtime,
+        seeds: Iterable[Endpoint] = (),
+        config: Optional[AkkaConfig] = None,
+        on_view_change=None,
+    ) -> None:
+        self.runtime = runtime
+        self.addr = runtime.addr
+        self.config = config or AkkaConfig()
+        self.seeds = tuple(seeds)
+        self.on_view_change = on_view_change
+        # endpoint -> [status, version]
+        self.state: dict[Endpoint, list] = {self.addr: [UP, 0]}
+        self._detectors: dict[Endpoint, PhiAccrualDetector] = {}
+        self._unreachable_since: dict[Endpoint, float] = {}
+        self._started = False
+        runtime.attach(self.on_message)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for seed in self.seeds:
+            if seed != self.addr:
+                self.runtime.send(seed, AkkaJoin(sender=self.addr))
+        self.runtime.schedule(
+            self.runtime.rng.uniform(0, self.config.gossip_interval), self._gossip_tick
+        )
+        self.runtime.schedule(
+            self.runtime.rng.uniform(0, self.config.heartbeat_interval),
+            self._heartbeat_tick,
+        )
+        self.runtime.schedule(self.config.fd_check_interval, self._fd_check)
+
+    def view(self) -> tuple:
+        return tuple(sorted(ep for ep, (status, _) in self.state.items() if status == UP))
+
+    # ------------------------------------------------------------- monitoring
+
+    def _monitor_targets(self) -> list:
+        """Ring neighbors in sorted order (Akka's heartbeat topology)."""
+        members = sorted(
+            ep for ep, (status, _) in self.state.items() if status != REMOVED
+        )
+        if self.addr not in members or len(members) < 2:
+            return []
+        idx = members.index(self.addr)
+        count = min(self.config.monitored_members, len(members) - 1)
+        return [members[(idx + i + 1) % len(members)] for i in range(count)]
+
+    def _heartbeat_tick(self) -> None:
+        for target in self._monitor_targets():
+            self.runtime.send(target, AkkaHeartbeat(sender=self.addr))
+        self.runtime.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _fd_check(self) -> None:
+        now = self.runtime.now()
+        targets = set(self._monitor_targets())
+        for target in targets:
+            detector = self._detectors.get(target)
+            if detector is None:
+                detector = PhiAccrualDetector(
+                    threshold=self.config.phi_threshold,
+                    expected_interval=self.config.heartbeat_interval,
+                )
+                # Seed the arrival history so phi is meaningful immediately.
+                detector.on_probe_success(now, 0.0)
+                self._detectors[target] = detector
+            status, version = self.state.get(target, (None, 0))
+            if status == UP and detector.current_phi(now) >= self.config.phi_threshold:
+                self._mark(target, UNREACHABLE)
+            elif status == UNREACHABLE and detector.current_phi(now) < self.config.phi_threshold:
+                self._mark(target, UP)
+        # Auto-down: unreachable for too long is removed cluster-wide.
+        for target, since in list(self._unreachable_since.items()):
+            status, _ = self.state.get(target, (None, 0))
+            if status != UNREACHABLE:
+                self._unreachable_since.pop(target, None)
+            elif now - since > self.config.auto_down_after:
+                self._mark(target, REMOVED)
+                self._unreachable_since.pop(target, None)
+        self.runtime.schedule(self.config.fd_check_interval, self._fd_check)
+
+    def _mark(self, target: Endpoint, status: str) -> None:
+        before = self.view()
+        record = self.state.get(target)
+        version = (record[1] if record else 0) + 1
+        self.state[target] = [status, version]
+        if status == UNREACHABLE:
+            self._unreachable_since.setdefault(target, self.runtime.now())
+        self._notify(before)
+
+    # ----------------------------------------------------------------- gossip
+
+    def _gossip_tick(self) -> None:
+        peers = [
+            ep
+            for ep, (status, _) in self.state.items()
+            if ep != self.addr and status != REMOVED
+        ]
+        if peers:
+            peer = peers[self.runtime.rng.randrange(len(peers))]
+            self.runtime.send(peer, AkkaGossip(sender=self.addr, state=self._snapshot()))
+        self.runtime.schedule(self.config.gossip_interval, self._gossip_tick)
+
+    def _snapshot(self) -> tuple:
+        return tuple(
+            (ep, status, version) for ep, (status, version) in sorted(self.state.items())
+        )
+
+    # --------------------------------------------------------------- messages
+
+    def on_message(self, src: Endpoint, msg) -> None:
+        if isinstance(msg, AkkaHeartbeat):
+            self.runtime.send(msg.sender, AkkaHeartbeatAck(sender=self.addr))
+            self._learn(msg.sender)
+        elif isinstance(msg, AkkaHeartbeatAck):
+            detector = self._detectors.get(msg.sender)
+            if detector is not None:
+                detector.on_probe_success(self.runtime.now(), 0.0)
+        elif isinstance(msg, AkkaJoin):
+            before = self.view()
+            self.state[msg.sender] = [UP, self.state.get(msg.sender, [UP, 0])[1] + 1]
+            self.runtime.send(msg.sender, AkkaGossip(sender=self.addr, state=self._snapshot()))
+            self._notify(before)
+        elif isinstance(msg, AkkaGossip):
+            self._merge(msg.state)
+
+    def _learn(self, endpoint: Endpoint) -> None:
+        if endpoint not in self.state:
+            before = self.view()
+            self.state[endpoint] = [UP, 1]
+            self._notify(before)
+
+    def _merge(self, snapshot: tuple) -> None:
+        before = self.view()
+        for endpoint, status, version in snapshot:
+            if endpoint == self.addr:
+                # Refute unreachability claims about ourselves; removal is
+                # terminal in Akka (a removed node must rejoin).
+                mine = self.state[self.addr]
+                if status == UNREACHABLE and version >= mine[1]:
+                    self.state[self.addr] = [UP, version + 1]
+                continue
+            record = self.state.get(endpoint)
+            if record is None:
+                if status != REMOVED:
+                    self.state[endpoint] = [status, version]
+                continue
+            if version > record[1] or (
+                version == record[1] and _RANK[status] > _RANK[record[0]]
+            ):
+                record[0] = status
+                record[1] = version
+                if status == UNREACHABLE:
+                    self._unreachable_since.setdefault(endpoint, self.runtime.now())
+        self._notify(before)
+
+    def _notify(self, before: tuple) -> None:
+        after = self.view()
+        if after != before and self.on_view_change is not None:
+            self.on_view_change(after)

@@ -1,0 +1,142 @@
+"""Cluster-wide dissemination substrates.
+
+Rapid broadcasts two kinds of payloads: batched edge alerts and consensus
+vote bundles.  The paper performs both over UDP, with gossip used for the
+counting step.  Two interchangeable broadcasters are provided:
+
+* :class:`UnicastBroadcaster` — the sender unicasts the payload to every
+  member.  Simple, O(N) messages per broadcast from one node, matching the
+  reference implementation's default broadcaster.
+* :class:`GossipBroadcaster` — epidemic "infect and die" relay: the
+  originator sends to ``fanout`` random peers; every first-time receiver
+  relays onward while a hop budget lasts.  O(log N) latency, load spread
+  over the whole cluster.
+
+Both deliver the payload locally as well, so a node always processes its own
+broadcasts through the same code path as everyone else's.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.core.messages import GossipEnvelope
+from repro.core.node_id import Endpoint
+from repro.runtime.base import Runtime
+
+__all__ = ["Broadcaster", "UnicastBroadcaster", "GossipBroadcaster"]
+
+Deliver = Callable[[Endpoint, Any], None]
+
+
+class Broadcaster:
+    """Interface: deliver a payload to every member of the current view."""
+
+    def set_membership(self, members: Sequence[Endpoint]) -> None:
+        raise NotImplementedError
+
+    def broadcast(self, payload: Any) -> None:
+        raise NotImplementedError
+
+    def handle(self, src: Endpoint, envelope: Any) -> None:
+        """Process a transport-level broadcast message (gossip relay)."""
+        raise NotImplementedError
+
+
+class UnicastBroadcaster(Broadcaster):
+    """Send the payload directly to every member."""
+
+    def __init__(self, runtime: Runtime, deliver: Deliver) -> None:
+        self.runtime = runtime
+        self.deliver = deliver
+        self._members: tuple = ()
+
+    def set_membership(self, members: Sequence[Endpoint]) -> None:
+        self._members = tuple(members)
+
+    def broadcast(self, payload: Any) -> None:
+        me = self.runtime.addr
+        for member in self._members:
+            if member != me:
+                self.runtime.send(member, payload)
+        self.deliver(me, payload)
+
+    def handle(self, src: Endpoint, envelope: Any) -> None:
+        # Unicast broadcasts arrive as bare payloads; nothing to unwrap.
+        self.deliver(src, envelope)
+
+
+class GossipBroadcaster(Broadcaster):
+    """Epidemic relay with duplicate suppression.
+
+    ``hops`` defaults to ``ceil(log2(N)) + 3`` relays, enough for an
+    epidemic with the default fanout to reach all members with high
+    probability; duplicate message ids are dropped.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        deliver: Deliver,
+        fanout: int = 8,
+        hops: Optional[int] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.deliver = deliver
+        self.fanout = fanout
+        self._fixed_hops = hops
+        self._members: tuple = ()
+        self._peers: tuple = ()
+        self._seen: set = set()
+        self._next_id = 0
+
+    def set_membership(self, members: Sequence[Endpoint]) -> None:
+        self._members = tuple(members)
+        self._peers = tuple(m for m in self._members if m != self.runtime.addr)
+        self._seen.clear()
+
+    def _hops(self) -> int:
+        if self._fixed_hops is not None:
+            return self._fixed_hops
+        n = max(2, len(self._members))
+        return int(math.ceil(math.log2(n))) + 3
+
+    def broadcast(self, payload: Any) -> None:
+        self._next_id += 1
+        message_id = hash((str(self.runtime.addr), self._next_id)) & 0xFFFFFFFFFFFF
+        envelope = GossipEnvelope(
+            sender=self.runtime.addr,
+            message_id=message_id,
+            hops_left=self._hops(),
+            payload=payload,
+        )
+        self._seen.add(message_id)
+        self.deliver(self.runtime.addr, payload)
+        self._relay(envelope)
+
+    def handle(self, src: Endpoint, envelope: Any) -> None:
+        if not isinstance(envelope, GossipEnvelope):
+            self.deliver(src, envelope)
+            return
+        if envelope.message_id in self._seen:
+            return
+        self._seen.add(envelope.message_id)
+        self.deliver(envelope.sender, envelope.payload)
+        if envelope.hops_left > 0:
+            self._relay(
+                GossipEnvelope(
+                    sender=envelope.sender,
+                    message_id=envelope.message_id,
+                    hops_left=envelope.hops_left - 1,
+                    payload=envelope.payload,
+                )
+            )
+
+    def _relay(self, envelope: GossipEnvelope) -> None:
+        peers = self._peers
+        if not peers:
+            return
+        count = min(self.fanout, len(peers))
+        for peer in self.runtime.rng.sample(peers, count):
+            self.runtime.send(peer, envelope)

@@ -1,0 +1,130 @@
+"""Membership configurations.
+
+A configuration is an immutable snapshot of the membership set plus a
+configuration identifier (paper section 3).  Rapid drives an immutable
+*sequence* of configurations: each view change produces the next
+configuration by applying a multi-process cut (joins and removals decided by
+consensus) to the current one.
+
+The identifier folds in the sorted endpoints, their logical ids, and the
+sequence number, so any two processes holding the same identifier hold the
+same membership view, and a rejoined process (same address, new uuid)
+yields a different identifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.messages import AlertKind, Change, Proposal
+from repro.core.node_id import Endpoint, stable_hash64
+
+__all__ = ["Configuration"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable membership view.
+
+    ``members`` is always sorted; ``uuids`` is aligned with ``members`` and
+    holds each member's logical identifier.  ``seq`` counts view changes
+    since bootstrap.
+    """
+
+    members: tuple = ()  # tuple[Endpoint, ...], sorted
+    uuids: tuple = ()  # tuple[int, ...], aligned with members
+    seq: int = 0
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def bootstrap(cls, seed: Endpoint, uuid: int = 0) -> "Configuration":
+        """The configuration a seed process starts with: just itself."""
+        return cls(members=(seed,), uuids=(uuid,), seq=0)
+
+    @classmethod
+    def of(cls, members: Iterable[Endpoint], seq: int = 0) -> "Configuration":
+        """Build a configuration with zeroed uuids (tests, baselines)."""
+        ordered = tuple(sorted(members))
+        return cls(members=ordered, uuids=tuple(0 for _ in ordered), seq=seq)
+
+    def __post_init__(self) -> None:
+        if len(self.members) != len(self.uuids):
+            raise ValueError("members and uuids must be aligned")
+        if tuple(sorted(self.members)) != self.members:
+            raise ValueError("members must be sorted")
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def config_id(self) -> int:
+        """Deterministic 64-bit identifier of this view."""
+        return stable_hash64(
+            "config", self.seq, tuple(str(m) for m in self.members), self.uuids
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, endpoint: Endpoint) -> bool:
+        return endpoint in self._member_set()
+
+    def _member_set(self) -> frozenset:
+        # Cached lazily on the instance despite frozen-ness.
+        cached = self.__dict__.get("_members_frozen")
+        if cached is None:
+            cached = frozenset(self.members)
+            object.__setattr__(self, "_members_frozen", cached)
+        return cached
+
+    def index_of(self, endpoint: Endpoint) -> int:
+        """Position of ``endpoint`` in the sorted membership (vote bitmaps)."""
+        index = self.__dict__.get("_index")
+        if index is None:
+            index = {m: i for i, m in enumerate(self.members)}
+            object.__setattr__(self, "_index", index)
+        return index[endpoint]
+
+    def uuid_of(self, endpoint: Endpoint) -> Optional[int]:
+        try:
+            return self.uuids[self.index_of(endpoint)]
+        except KeyError:
+            return None
+
+    def has_uuid(self, uuid: int) -> bool:
+        return uuid in self.uuids
+
+    # ------------------------------------------------------------- transitions
+
+    def apply(self, proposal: Proposal) -> "Configuration":
+        """Apply a decided cut and return the next configuration.
+
+        Joins must not already be members; removals must be members.  The
+        cut detector and consensus layers guarantee this for protocol-driven
+        proposals; we re-validate because configuration transitions are the
+        safety-critical step.
+        """
+        current = dict(zip(self.members, self.uuids))
+        for change in proposal:
+            if change.kind == AlertKind.JOIN:
+                if change.endpoint in current:
+                    raise ValueError(f"join of existing member {change.endpoint}")
+                current[change.endpoint] = change.uuid
+            elif change.kind == AlertKind.REMOVE:
+                if change.endpoint not in current:
+                    raise ValueError(f"removal of non-member {change.endpoint}")
+                del current[change.endpoint]
+            else:
+                raise ValueError(f"unknown change kind {change.kind!r}")
+        ordered = tuple(sorted(current))
+        return Configuration(
+            members=ordered,
+            uuids=tuple(current[m] for m in ordered),
+            seq=self.seq + 1,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and examples."""
+        return f"view#{self.seq} id={self.config_id & 0xFFFFFF:06x} n={self.size}"

@@ -1,0 +1,176 @@
+"""Almost-everywhere multi-process cut detection (paper section 4.2).
+
+Every process ingests broadcast edge alerts and tallies, per subject, how
+many *distinct rings* have reported it.  Two watermarks split subjects into
+modes:
+
+* ``tally >= H``     — **stable** report mode: high-fidelity signal, the
+  subject belongs in the next cut;
+* ``L <= tally < H`` — **unstable**: some evidence, not yet conclusive;
+* ``tally < L``      — noise.
+
+The single aggregation rule (the paper's key insight) is: *delay proposing a
+configuration change until at least one subject is stable and no subject is
+unstable*.  When that condition holds, the proposal is the set of all
+stable subjects — a multi-process cut — and with high probability every
+correct process converges to the identical proposal ("almost-everywhere
+agreement", analyzed in paper section 8.2 and measured in Figure 11).
+
+Two liveness aids keep subjects from lingering in the unstable region:
+
+* **implicit alerts** — if an observer ``o`` of an unstable subject ``s``
+  is itself unstable (or already stable/proposed), an implicit alert from
+  ``o`` about ``s`` is applied: faulty observers cannot be expected to
+  report their subjects;
+* **reinforcement** — handled by the membership layer: after a timeout,
+  every observer of a still-unstable subject echoes a REMOVE (see
+  :meth:`repro.core.membership.RapidNode`); the detector exposes the
+  timestamps needed to drive it.
+
+State is all integer counters keyed by subject; it is reset wholesale after
+each configuration change by discarding the instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.messages import Alert, AlertKind, Change, Proposal, make_proposal
+from repro.core.node_id import Endpoint
+from repro.core.ring import KRingTopology
+
+__all__ = ["MultiNodeCutDetector"]
+
+
+class MultiNodeCutDetector:
+    """Tallies edge alerts into a stable multi-process cut proposal.
+
+    Parameters
+    ----------
+    k, h, l:
+        Ring count and the high/low watermarks, ``1 <= L <= H <= K``.
+    topology:
+        The monitoring topology of the current configuration; used to
+        resolve ring numbers to observers for the implicit-alert rule.
+    """
+
+    def __init__(self, k: int, h: int, l: int, topology: Optional[KRingTopology] = None) -> None:
+        if not (1 <= l <= h <= k):
+            raise ValueError(f"need 1 <= L <= H <= K, got K={k} H={h} L={l}")
+        self.k = k
+        self.h = h
+        self.l = l
+        self.topology = topology
+        # subject -> ring number -> observer that reported on that ring.
+        self._reports: dict[Endpoint, dict[int, Endpoint]] = {}
+        # subject -> (kind, joiner uuid) from the first alert about it.
+        self._kinds: dict[Endpoint, tuple] = {}
+        # subject -> time of first alert (drives reinforcement timeouts).
+        self._first_seen: dict[Endpoint, float] = {}
+        # Subjects already emitted in a proposal (awaiting consensus); they
+        # no longer count as unstable and are not re-proposed.
+        self._proposed: set = set()
+        self.proposals_emitted = 0
+
+    # ---------------------------------------------------------------- feeding
+
+    def receive_alert(self, alert: Alert, now: float = 0.0) -> Optional[Proposal]:
+        """Ingest one alert; returns a cut proposal when one stabilizes.
+
+        Alerts are idempotent: a duplicate (same subject, same ring) does
+        not move the tally.  Conflicting kinds for the same subject are
+        impossible in the protocol (JOIN alerts are only about non-members,
+        REMOVE only about members); if one arrives anyway it is ignored.
+        """
+        subject = alert.subject
+        if subject in self._proposed:
+            return None
+        kind = self._kinds.get(subject)
+        if kind is None:
+            self._kinds[subject] = (alert.kind, alert.joiner_uuid)
+            self._first_seen[subject] = now
+        elif kind[0] != alert.kind:
+            return None  # conflicting kind: drop (cannot happen in-protocol)
+        rings = self._reports.setdefault(subject, {})
+        for ring in alert.ring_numbers:
+            if 0 <= ring < self.k:
+                rings.setdefault(ring, alert.observer)
+        return self.check_proposal(now)
+
+    def check_proposal(self, now: float = 0.0) -> Optional[Proposal]:
+        """Re-evaluate the aggregation rule (after implicit alerts etc.)."""
+        self._apply_implicit_alerts()
+        stable = [s for s in self._reports if self._tally(s) >= self.h]
+        if not stable:
+            return None
+        if any(
+            self.l <= self._tally(s) < self.h
+            for s in self._reports
+            if s not in self._proposed
+        ):
+            return None
+        self._proposed.update(stable)
+        self.proposals_emitted += 1
+        return make_proposal(
+            Change(endpoint=s, kind=self._kinds[s][0], uuid=self._kinds[s][1])
+            for s in stable
+        )
+
+    # ------------------------------------------------------- implicit alerts
+
+    def _apply_implicit_alerts(self) -> None:
+        """Paper section 4.2: if observer ``o`` of an unstable subject ``s``
+        is itself failing (unstable, stable, or already proposed for
+        removal), count an implicit alert from ``o`` about ``s``."""
+        if self.topology is None:
+            return
+        unstable = [s for s in self._reports if self.l <= self._tally(s) < self.h]
+        for subject in unstable:
+            rings = self._reports[subject]
+            observers = self.topology.observers_of(subject)
+            for ring, observer in enumerate(observers):
+                if ring in rings:
+                    continue
+                if self._failing(observer):
+                    rings[ring] = observer
+
+    def _failing(self, endpoint: Endpoint) -> bool:
+        if endpoint in self._proposed and self._kinds.get(endpoint, ("",))[0] == AlertKind.REMOVE:
+            return True
+        kind = self._kinds.get(endpoint)
+        if kind is None or kind[0] != AlertKind.REMOVE:
+            return False
+        return self._tally(endpoint) >= self.l
+
+    # ---------------------------------------------------------------- queries
+
+    def _tally(self, subject: Endpoint) -> int:
+        return len(self._reports.get(subject, ()))
+
+    def tally(self, subject: Endpoint) -> int:
+        """Number of distinct rings that reported ``subject``."""
+        return self._tally(subject)
+
+    def stable_subjects(self) -> list:
+        """Subjects currently at or above the high watermark."""
+        return [s for s in self._reports if self._tally(s) >= self.h and s not in self._proposed]
+
+    def unstable_subjects(self) -> list:
+        """Subjects in the blocking region ``L <= tally < H``."""
+        return [
+            s
+            for s in self._reports
+            if self.l <= self._tally(s) < self.h and s not in self._proposed
+        ]
+
+    def first_seen(self, subject: Endpoint) -> Optional[float]:
+        """Time of the first alert about ``subject`` (for reinforcement)."""
+        return self._first_seen.get(subject)
+
+    def kind_of(self, subject: Endpoint) -> Optional[str]:
+        entry = self._kinds.get(subject)
+        return entry[0] if entry else None
+
+    def reporting_observers(self, subject: Endpoint) -> set:
+        """Observers whose alerts (explicit or implicit) were recorded."""
+        return set(self._reports.get(subject, {}).values())

@@ -1,0 +1,55 @@
+"""View-change events delivered to applications.
+
+The ``VIEW-CHANGE-CALLBACK`` of the paper's API (section 3) receives a
+:class:`ViewChangeEvent` for every configuration change decided by
+consensus.  Events carry the new configuration plus the delta, so
+applications (e.g. the transactional platform and service-discovery apps in
+:mod:`repro.apps`) can react to exactly what changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.configuration import Configuration
+
+__all__ = ["ViewChangeEvent", "NodeStatus"]
+
+
+class NodeStatus:
+    """Lifecycle states of a Rapid node."""
+
+    INIT = "init"
+    JOINING = "joining"
+    ACTIVE = "active"
+    KICKED = "kicked"  # removed from the membership by consensus
+    LEFT = "left"  # departed voluntarily or stopped
+
+
+@dataclass(frozen=True)
+class ViewChangeEvent:
+    """One installed configuration change.
+
+    Attributes
+    ----------
+    configuration:
+        The newly installed view.
+    joined / removed:
+        Endpoints added to / removed from the previous view.
+    kicked:
+        True when the receiving node itself was removed: the node is no
+        longer a member and ``configuration`` is the view it was ejected
+        from (applications typically rejoin with a fresh identity).
+    time:
+        Runtime clock when the event fired.
+    """
+
+    configuration: Configuration
+    joined: tuple = ()
+    removed: tuple = ()
+    kicked: bool = False
+    time: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return self.configuration.size

@@ -1,0 +1,248 @@
+"""Leaderless view-change consensus (paper section 4.3).
+
+The fast path is Fast Paxos with the explicit proposer removed: every
+process uses its own cut-detection output as its fast-round vote.  Votes are
+disseminated as bitmaps — one bit per membership index — and aggregated by
+bitwise OR, so any process that observes a proposal endorsed by at least
+``N - floor(N/4)`` members decides in a single message delay with no leader
+and no further communication: "the VC protocol converges simply by counting
+the number of identical CD proposals".
+
+Because cut detection agrees almost everywhere, the fast path is the common
+case.  If votes conflict or too many are lost, a staggered timeout sends
+nodes into the classical Paxos recovery path (:mod:`repro.core.paxos`),
+seeded with their fast-round votes so the recovery cannot contradict a
+fast-quorum decision.
+
+Laggards whose vote messages were lost are repaired reactively: a process
+that keeps gossiping votes for a configuration its peers already moved past
+receives a :class:`~repro.core.messages.Decision` learn message back (see
+``RapidNode._on_consensus``), which this instance adopts directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core.messages import (
+    Decision,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+    Proposal,
+    VoteBundle,
+)
+from repro.core.node_id import Endpoint
+from repro.core.paxos import PaxosInstance, fast_quorum_size
+from repro.core.settings import RapidSettings
+from repro.runtime.base import Runtime
+
+__all__ = ["FastPaxos"]
+
+
+class FastPaxos:
+    """One consensus instance, scoped to a single configuration.
+
+    Parameters
+    ----------
+    runtime:
+        Timers and addressing.
+    members:
+        The acceptor set (the current configuration's membership).
+    config_id:
+        Identifier of the configuration this instance decides for.
+    broadcast:
+        Cluster-wide dissemination callable (alert broadcaster is reused).
+    on_decide:
+        Invoked exactly once with the decided proposal.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        members: Sequence[Endpoint],
+        config_id: int,
+        settings: RapidSettings,
+        broadcast: Callable[[object], None],
+        on_decide: Callable[[Proposal], None],
+    ) -> None:
+        self.runtime = runtime
+        self.members = tuple(members)
+        self.n = len(self.members)
+        self.config_id = config_id
+        self.settings = settings
+        self._broadcast = broadcast
+        self._on_decide = on_decide
+        self._index = {m: i for i, m in enumerate(self.members)}
+        self.my_vote: Optional[Proposal] = None
+        self.votes: dict[Proposal, int] = {}
+        self.decided = False
+        self.decision: Optional[Proposal] = None
+        self._fallback_timer = None
+        self._gossip_timer = None
+        self._fallback_attempts = 0
+        self.used_fallback = False
+        self.paxos = PaxosInstance(
+            addr=runtime.addr,
+            members=self.members,
+            config_id=config_id,
+            send=runtime.send,
+            broadcast=broadcast,
+            on_decide=self._decide,
+        )
+
+    # ---------------------------------------------------------------- voting
+
+    @property
+    def fast_quorum(self) -> int:
+        return fast_quorum_size(self.n)
+
+    def propose(self, proposal: Proposal) -> None:
+        """Cast this node's fast-round vote (its CD output).
+
+        Votes are irrevocable within a configuration; repeat calls with a
+        different proposal are ignored, mirroring the irrevocability of the
+        alerts beneath them.
+        """
+        if self.decided or self.my_vote is not None:
+            return
+        if self.runtime.addr not in self._index:
+            return  # joiners do not vote
+        self.my_vote = proposal
+        self.paxos.register_fast_round_vote(proposal)
+        self._merge(proposal, 1 << self._index[self.runtime.addr])
+        self._send_aggregate()
+        self._arm_fallback()
+        self._arm_gossip()
+        self._check_quorum()
+
+    # -------------------------------------------------------------- messages
+
+    def handle(self, src: Endpoint, msg: object) -> None:
+        """Feed a consensus-related message into this instance."""
+        if isinstance(msg, VoteBundle):
+            self._on_votes(msg)
+        elif isinstance(msg, Decision):
+            if msg.config_id == self.config_id:
+                self._decide(msg.value)
+        elif isinstance(msg, (Phase1a, Phase1b, Phase2a, Phase2b)):
+            if msg.config_id == self.config_id:
+                self.used_fallback = True
+                self.paxos.handle(src, msg)
+
+    def _on_votes(self, msg: VoteBundle) -> None:
+        if self.decided or msg.config_id != self.config_id:
+            return
+        for proposal, bitmap in zip(msg.proposals, msg.bitmaps):
+            self._merge(proposal, bitmap)
+        self._arm_fallback()
+        self._arm_gossip()
+        self._check_quorum()
+
+    def _merge(self, proposal: Proposal, bitmap: int) -> None:
+        self.votes[proposal] = self.votes.get(proposal, 0) | bitmap
+
+    def _check_quorum(self) -> None:
+        if self.decided:
+            return
+        for proposal, bitmap in self.votes.items():
+            if bitmap.bit_count() >= self.fast_quorum:
+                self._decide(proposal)
+                return
+
+    # ------------------------------------------------------------ fallback
+
+    def _arm_fallback(self) -> None:
+        if self.decided or self._fallback_timer is not None:
+            return
+        rank_index = self._index.get(self.runtime.addr, self.n)
+        delay = (
+            self.settings.consensus_fallback_timeout
+            + self.settings.consensus_rank_delay * rank_index
+        )
+        self._fallback_timer = self.runtime.schedule(delay, self._fallback)
+
+    def _fallback(self) -> None:
+        """Fast path timed out: coordinate a classical recovery round."""
+        self._fallback_timer = None
+        if self.decided or self.runtime.addr not in self._index:
+            return
+        self.used_fallback = True
+        self._fallback_attempts += 1
+        if not self.paxos.my_proposal:
+            fallback_value = self._most_endorsed()
+            if fallback_value is None:
+                self._fallback_timer = self.runtime.schedule(
+                    self.settings.consensus_fallback_timeout, self._fallback
+                )
+                return
+            self.paxos.my_proposal = fallback_value
+        self.paxos.start_round(1 + self._fallback_attempts)
+        self._fallback_timer = self.runtime.schedule(
+            self.settings.consensus_fallback_timeout
+            + self.settings.consensus_rank_delay * self._index.get(self.runtime.addr, 0),
+            self._fallback,
+        )
+
+    def _most_endorsed(self) -> Optional[Proposal]:
+        if not self.votes:
+            return None
+        return max(self.votes.items(), key=lambda kv: (kv[1].bit_count(), kv[0]))[0]
+
+    # --------------------------------------------------------------- gossip
+
+    def _arm_gossip(self) -> None:
+        """Periodically push our aggregate to a few random peers until the
+        round decides; this is the paper's gossip-based counting step and
+        also repairs vote loss under UDP semantics."""
+        if self.decided or self._gossip_timer is not None:
+            return
+        self._gossip_timer = self.runtime.schedule(
+            self.settings.gossip_interval, self._gossip_tick
+        )
+
+    def _gossip_tick(self) -> None:
+        self._gossip_timer = None
+        if self.decided or not self.votes:
+            return
+        bundle = self._aggregate()
+        peers = [m for m in self.members if m != self.runtime.addr]
+        if peers:
+            count = min(self.settings.gossip_fanout, len(peers))
+            for peer in self.runtime.rng.sample(peers, count):
+                self.runtime.send(peer, bundle)
+        self._gossip_timer = self.runtime.schedule(
+            self.settings.gossip_interval, self._gossip_tick
+        )
+
+    def _aggregate(self) -> VoteBundle:
+        proposals = tuple(self.votes.keys())
+        return VoteBundle(
+            sender=self.runtime.addr,
+            config_id=self.config_id,
+            proposals=proposals,
+            bitmaps=tuple(self.votes[p] for p in proposals),
+        )
+
+    def _send_aggregate(self) -> None:
+        self._broadcast(self._aggregate())
+
+    # --------------------------------------------------------------- decide
+
+    def _decide(self, value: Proposal) -> None:
+        if self.decided:
+            return
+        self.decided = True
+        self.decision = value
+        self.cancel_timers()
+        self._on_decide(value)
+
+    def cancel_timers(self) -> None:
+        """Stop fallback/gossip activity (called on decide and teardown)."""
+        if self._fallback_timer is not None:
+            self._fallback_timer.cancel()
+            self._fallback_timer = None
+        if self._gossip_timer is not None:
+            self._gossip_timer.cancel()
+            self._gossip_timer = None

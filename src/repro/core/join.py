@@ -1,0 +1,121 @@
+"""Joiner-side join protocol (paper sections 3 and 4.1).
+
+A joining process:
+
+1. sends a ``PreJoinRequest`` to a seed, which answers with the current
+   configuration id and the joiner's *temporary observers* — the ``K``
+   processes that would precede it on each ring ("deterministically
+   assigned for each joiner and configuration pair");
+2. sends a ``JoinRequest`` to each temporary observer; each observer
+   broadcasts a ``JOIN`` alert, so JOIN evidence reaches the cut detector
+   from multiple distinct sources exactly like failure evidence does;
+3. waits for a ``JoinResponse`` carrying the new configuration once the
+   view change admitting it is decided.
+
+Retries rotate through the seed list with a timeout; a ``CONFIG_CHANGED``
+response restarts the handshake promptly against the new configuration, and
+``UUID_IN_USE`` mints a fresh logical identity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.messages import (
+    JoinRequest,
+    JoinResponse,
+    JoinStatus,
+    PreJoinRequest,
+    PreJoinResponse,
+)
+from repro.core.node_id import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.membership import RapidNode
+
+__all__ = ["JoinProtocol"]
+
+
+class JoinProtocol:
+    """State machine run by a joining node until it becomes a member."""
+
+    def __init__(self, node: "RapidNode") -> None:
+        self.node = node
+        self.attempts = 0
+        self.completed = False
+        self._config_id: Optional[int] = None
+        self._timeout_handle = None
+
+    # ---------------------------------------------------------------- driving
+
+    def begin(self) -> None:
+        """Start (or restart) the join handshake."""
+        if self.completed:
+            return
+        seeds = self.node.seeds or ()
+        if not seeds:
+            raise RuntimeError("cannot join without seeds")
+        seed = seeds[self.attempts % len(seeds)]
+        self.attempts += 1
+        self._config_id = None
+        self.node.runtime.send(
+            seed,
+            PreJoinRequest(sender=self.node.addr, uuid=self.node.node_id.uuid),
+        )
+        self._arm_timeout(self.node.settings.join_timeout)
+
+    def _arm_timeout(self, delay: float) -> None:
+        self._cancel_timeout()
+        self._timeout_handle = self.node.runtime.schedule(delay, self._on_timeout)
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
+
+    def _on_timeout(self) -> None:
+        self._timeout_handle = None
+        if not self.completed:
+            self.begin()
+
+    # --------------------------------------------------------------- messages
+
+    def on_pre_join_response(self, msg: PreJoinResponse) -> None:
+        if self.completed:
+            return
+        if msg.status == JoinStatus.UUID_IN_USE:
+            # A stale incarnation of us is still in the view; retry with a
+            # fresh logical identity once failure detection clears it.
+            self.node.node_id = NodeId.fresh(self.node.addr)
+            self._arm_timeout(self.node.settings.join_timeout)
+            return
+        if msg.status != JoinStatus.SAFE_TO_JOIN:
+            self._arm_timeout(self.node.settings.join_timeout / 2)
+            return
+        self._config_id = msg.config_id
+        request = JoinRequest(
+            sender=self.node.addr,
+            uuid=self.node.node_id.uuid,
+            config_id=msg.config_id,
+            metadata=self.node.metadata_tuple(),
+        )
+        seen = set()
+        for observer in msg.observers:
+            if observer in seen:
+                continue
+            seen.add(observer)
+            self.node.runtime.send(observer, request)
+        self._arm_timeout(self.node.settings.join_timeout)
+
+    def on_join_response(self, msg: JoinResponse) -> None:
+        if self.completed:
+            return
+        if msg.status == JoinStatus.SAFE_TO_JOIN:
+            if self.node.addr not in msg.members:
+                return  # stale or malformed; keep waiting
+            self.completed = True
+            self._cancel_timeout()
+            self.node._install_joined_view(msg)
+        elif msg.status == JoinStatus.CONFIG_CHANGED:
+            # The view changed under us; restart quickly against the new one.
+            self._arm_timeout(min(0.5, self.node.settings.join_timeout))

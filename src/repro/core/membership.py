@@ -1,0 +1,654 @@
+"""The Rapid membership service: one node's full protocol stack.
+
+:class:`RapidNode` wires together the components of the paper's Figure 3
+pipeline for a single process:
+
+``edge monitoring`` (K-ring probes + pluggable detector, section 4.1)
+→ ``irrevocable alerts`` (batched, broadcast)
+→ ``multi-process cut detection`` (section 4.2)
+→ ``leaderless view-change consensus`` (section 4.3)
+→ ``configuration installation`` + application callback.
+
+The node is sans-io: it talks to the world only through a
+:class:`~repro.runtime.base.Runtime`, so the same class runs inside the
+deterministic simulator and over real asyncio UDP sockets.
+
+Typical use (mirrors the paper's ``JOIN(HOST:PORT, SEEDS, CALLBACK)`` API)::
+
+    node = RapidNode(runtime, settings, seeds=[seed_endpoint],
+                     on_view_change=callback)
+    node.start()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.configuration import Configuration
+from repro.core.cut_detector import MultiNodeCutDetector
+from repro.core.broadcaster import (
+    Broadcaster,
+    GossipBroadcaster,
+    UnicastBroadcaster,
+)
+from repro.core.events import NodeStatus, ViewChangeEvent
+from repro.core.fast_paxos import FastPaxos
+from repro.core.join import JoinProtocol
+from repro.core.messages import (
+    Alert,
+    AlertKind,
+    BatchedAlerts,
+    Decision,
+    GossipEnvelope,
+    JoinRequest,
+    JoinResponse,
+    JoinStatus,
+    LeaveNotification,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+    PreJoinRequest,
+    PreJoinResponse,
+    Probe,
+    ProbeAck,
+    Proposal,
+    VoteBundle,
+)
+from repro.core.node_id import Endpoint, NodeId
+from repro.core.ring import KRingTopology
+from repro.core.settings import BroadcastMode, RapidSettings
+from repro.detectors.base import DetectorFactory
+from repro.detectors.ping_timeout import PingTimeoutDetector
+from repro.runtime.base import Runtime
+
+__all__ = ["RapidNode"]
+
+ViewChangeCallback = Callable[[ViewChangeEvent], None]
+
+
+class RapidNode:
+    """A member (or joiner) of a Rapid cluster.
+
+    Parameters
+    ----------
+    runtime:
+        Messaging/timer environment (simulated or real).
+    settings:
+        Protocol parameters; defaults to the paper's ``K=10, H=9, L=3``.
+    seeds:
+        Bootstrap contact list.  A node whose address is the first seed (or
+        with no seeds at all) boots a fresh single-member cluster; everyone
+        else joins through the seeds.
+    detector_factory:
+        Factory for per-edge failure detectors; defaults to the paper's
+        40%-of-last-10 probe detector.
+    on_view_change:
+        Application callback invoked on every installed view change.
+    metadata:
+        Application-supplied role metadata, e.g. ``{"role": "backend"}``.
+    view_trace / event_log:
+        Optional experiment hooks (see :mod:`repro.sim.trace`).
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        settings: Optional[RapidSettings] = None,
+        seeds: Iterable[Endpoint] = (),
+        detector_factory: Optional[DetectorFactory] = None,
+        on_view_change: Optional[ViewChangeCallback] = None,
+        metadata: Optional[dict] = None,
+        view_trace=None,
+        event_log=None,
+    ) -> None:
+        self.runtime = runtime
+        self.addr = runtime.addr
+        self.settings = settings or RapidSettings()
+        self.seeds = tuple(seeds)
+        self.node_id = NodeId.fresh(self.addr)
+        self.detector_factory = detector_factory or self._default_detector_factory()
+        self.on_view_change = on_view_change
+        self.metadata = dict(metadata or {})
+        self.view_trace = view_trace
+        self.event_log = event_log
+
+        self.status = NodeStatus.INIT
+        self.config: Optional[Configuration] = None
+        self.topology: Optional[KRingTopology] = None
+        self.cut_detector: Optional[MultiNodeCutDetector] = None
+        self.consensus: Optional[FastPaxos] = None
+        self.metadata_store: dict[Endpoint, dict] = {}
+
+        if self.settings.broadcast_mode == BroadcastMode.GOSSIP:
+            self.broadcaster: Broadcaster = GossipBroadcaster(
+                runtime, self._deliver_broadcast, fanout=self.settings.gossip_fanout
+            )
+        else:
+            self.broadcaster = UnicastBroadcaster(runtime, self._deliver_broadcast)
+
+        # Monitoring state (per configuration).
+        self._subjects: list[Endpoint] = []
+        self._detectors: dict[Endpoint, Any] = {}
+        self._alerted: set[Endpoint] = set()
+        self._probe_seq = 0
+        self._pending_probes: dict[tuple, float] = {}
+
+        # Alert batching.
+        self._alert_batch: list[Alert] = []
+        self._batch_timer = None
+
+        # Joiners waiting for a view change that admits them.
+        self._pending_joiners: dict[Endpoint, int] = {}
+        self._joiner_metadata: dict[Endpoint, tuple] = {}
+
+        # Decisions of recent configurations, to repair laggards.
+        self._recent_decisions: dict[int, Proposal] = {}
+
+        self._join_protocol: Optional[JoinProtocol] = None
+        self._tick_started = False
+        self.view_changes_installed = 0
+
+        runtime.attach(self.on_message)
+
+    # ----------------------------------------------------------------- public
+
+    def start(self) -> None:
+        """Boot the node: become a fresh cluster seed, or join via seeds."""
+        if self.status != NodeStatus.INIT:
+            raise RuntimeError(f"start() called twice (status={self.status})")
+        if not self.seeds or self.seeds[0] == self.addr:
+            bootstrap = Configuration.bootstrap(self.addr, self.node_id.uuid)
+            self._install(bootstrap, joined=(self.addr,), removed=())
+        else:
+            self.status = NodeStatus.JOINING
+            self._join_protocol = JoinProtocol(self)
+            self._join_protocol.begin()
+        self._start_ticks()
+
+    def leave(self) -> None:
+        """Gracefully depart: ask our observers to announce our removal."""
+        if self.status != NodeStatus.ACTIVE or self.config is None:
+            self.status = NodeStatus.LEFT
+            return
+        for observer in self.topology.unique_observers_of(self.addr):
+            if observer == self.addr:
+                continue
+            rings = tuple(self.topology.observer_rings(observer, self.addr))
+            self.runtime.send(
+                observer,
+                LeaveNotification(
+                    sender=self.addr,
+                    config_id=self.config.config_id,
+                    ring_numbers=rings,
+                ),
+            )
+        self.status = NodeStatus.LEFT
+
+    def rejoin(self) -> None:
+        """After being kicked, rejoin with a fresh logical identity."""
+        if self.status not in (NodeStatus.KICKED, NodeStatus.LEFT):
+            raise RuntimeError("rejoin() only valid after leaving or being kicked")
+        self.node_id = NodeId.fresh(self.addr)
+        self.status = NodeStatus.JOINING
+        self.config = None
+        self._join_protocol = JoinProtocol(self)
+        self._join_protocol.begin()
+
+    @property
+    def membership(self) -> tuple:
+        """The current view's membership list (empty until active)."""
+        return self.config.members if self.config is not None else ()
+
+    @property
+    def size(self) -> int:
+        return len(self.membership)
+
+    def metadata_tuple(self) -> tuple:
+        return tuple(sorted(self.metadata.items()))
+
+    def get_metadata(self, endpoint: Endpoint) -> dict:
+        """Application metadata advertised by ``endpoint`` at join time."""
+        return dict(self.metadata_store.get(endpoint, {}))
+
+    # -------------------------------------------------------------- dispatch
+
+    def on_message(self, src: Endpoint, msg: Any) -> None:
+        """Entry point for every inbound message."""
+        if isinstance(msg, GossipEnvelope):
+            self.broadcaster.handle(src, msg)
+            return
+        self._handle(src, msg)
+
+    def _deliver_broadcast(self, origin: Endpoint, payload: Any) -> None:
+        self._handle(origin, payload)
+
+    def _handle(self, src: Endpoint, msg: Any) -> None:
+        if isinstance(msg, Probe):
+            self._on_probe(src, msg)
+        elif isinstance(msg, ProbeAck):
+            self._on_probe_ack(src, msg)
+        elif isinstance(msg, BatchedAlerts):
+            for alert in msg.alerts:
+                self._on_alert(alert)
+        elif isinstance(msg, (VoteBundle, Decision, Phase1a, Phase1b, Phase2a, Phase2b)):
+            self._on_consensus(src, msg)
+        elif isinstance(msg, PreJoinRequest):
+            self._on_pre_join_request(src, msg)
+        elif isinstance(msg, PreJoinResponse):
+            if self._join_protocol is not None:
+                self._join_protocol.on_pre_join_response(msg)
+        elif isinstance(msg, JoinRequest):
+            self._on_join_request(src, msg)
+        elif isinstance(msg, JoinResponse):
+            if self._join_protocol is not None:
+                self._join_protocol.on_join_response(msg)
+        elif isinstance(msg, LeaveNotification):
+            self._on_leave_notification(src, msg)
+
+    # ------------------------------------------------------------- monitoring
+
+    def _default_detector_factory(self) -> DetectorFactory:
+        window = self.settings.detector_window
+        threshold = self.settings.failure_threshold
+        return lambda: PingTimeoutDetector(window=window, threshold=threshold)
+
+    def _start_ticks(self) -> None:
+        if self._tick_started:
+            return
+        self._tick_started = True
+        jitter = self.runtime.rng.uniform(0, self.settings.probe_interval)
+        self.runtime.schedule(jitter, self._probe_tick)
+        self.runtime.schedule(
+            self.settings.probe_interval, self._reinforcement_tick
+        )
+        if self.view_trace is not None:
+            self.runtime.schedule(
+                self.settings.report_interval, self._report_tick
+            )
+
+    def _probe_tick(self) -> None:
+        if self.status in (NodeStatus.KICKED, NodeStatus.LEFT):
+            return
+        if self.status == NodeStatus.ACTIVE:
+            now = self.runtime.now()
+            for subject in self._subjects:
+                if subject in self._alerted:
+                    continue
+                self._probe_seq += 1
+                seq = self._probe_seq
+                self._pending_probes[(subject, seq)] = now
+                self.runtime.send(
+                    subject,
+                    Probe(sender=self.addr, config_id=self.config.config_id, seq=seq),
+                )
+                self.runtime.schedule(
+                    self.settings.probe_timeout, self._probe_timeout, subject, seq
+                )
+        self.runtime.schedule(self.settings.probe_interval, self._probe_tick)
+
+    def _on_probe(self, src: Endpoint, msg: Probe) -> None:
+        config_id = self.config.config_id if self.config is not None else 0
+        self.runtime.send(
+            msg.sender,
+            ProbeAck(
+                sender=self.addr,
+                config_id=config_id,
+                seq=msg.seq,
+                bootstrapping=self.status != NodeStatus.ACTIVE,
+            ),
+        )
+
+    def _on_probe_ack(self, src: Endpoint, msg: ProbeAck) -> None:
+        sent = self._pending_probes.pop((msg.sender, msg.seq), None)
+        if sent is None:
+            return
+        detector = self._detectors.get(msg.sender)
+        if detector is not None and msg.sender not in self._alerted:
+            detector.on_probe_success(self.runtime.now(), self.runtime.now() - sent)
+
+    def _probe_timeout(self, subject: Endpoint, seq: int) -> None:
+        if self._pending_probes.pop((subject, seq), None) is None:
+            return  # acked in time
+        detector = self._detectors.get(subject)
+        if detector is None or subject in self._alerted:
+            return
+        detector.on_probe_failure(self.runtime.now())
+        if detector.failed():
+            self._announce_removal(subject)
+
+    def _announce_removal(self, subject: Endpoint) -> None:
+        """Broadcast an irrevocable REMOVE alert about a subject we monitor."""
+        if self.status != NodeStatus.ACTIVE or subject in self._alerted:
+            return
+        rings = tuple(self.topology.observer_rings(self.addr, subject))
+        if not rings:
+            return
+        self._alerted.add(subject)
+        self._enqueue_alert(
+            Alert(
+                observer=self.addr,
+                subject=subject,
+                kind=AlertKind.REMOVE,
+                config_id=self.config.config_id,
+                ring_numbers=rings,
+            )
+        )
+
+    def _reinforcement_tick(self) -> None:
+        """Paper section 4.2 liveness aid: after a subject has lingered in the
+        unstable region past the timeout, every observer echoes the alert."""
+        if self.status in (NodeStatus.KICKED, NodeStatus.LEFT):
+            return
+        if self.status == NodeStatus.ACTIVE and self.cut_detector is not None:
+            now = self.runtime.now()
+            for subject in self.cut_detector.unstable_subjects():
+                first = self.cut_detector.first_seen(subject)
+                if first is None or now - first < self.settings.reinforcement_timeout:
+                    continue
+                if subject in self._alerted:
+                    continue
+                rings = tuple(self.topology.observer_rings(self.addr, subject))
+                if not rings:
+                    continue
+                kind = self.cut_detector.kind_of(subject) or AlertKind.REMOVE
+                uuid = 0
+                if kind == AlertKind.JOIN:
+                    uuid = self._pending_joiners.get(subject, 0)
+                self._alerted.add(subject)
+                self._enqueue_alert(
+                    Alert(
+                        observer=self.addr,
+                        subject=subject,
+                        kind=kind,
+                        config_id=self.config.config_id,
+                        ring_numbers=rings,
+                        joiner_uuid=uuid,
+                    )
+                )
+        self.runtime.schedule(self.settings.probe_interval, self._reinforcement_tick)
+
+    def _report_tick(self) -> None:
+        if self.status == NodeStatus.ACTIVE and self.config is not None:
+            self.view_trace.record(
+                self.addr, self.runtime.now(), self.config.size, self.config.config_id
+            )
+        if self.status not in (NodeStatus.KICKED, NodeStatus.LEFT):
+            self.runtime.schedule(self.settings.report_interval, self._report_tick)
+
+    # ----------------------------------------------------------------- alerts
+
+    def _enqueue_alert(self, alert: Alert) -> None:
+        """Buffer an alert; the batch flushes after the batching window."""
+        self._alert_batch.append(alert)
+        if self._batch_timer is None:
+            self._batch_timer = self.runtime.schedule(
+                self.settings.batching_window, self._flush_alerts
+            )
+
+    def _flush_alerts(self) -> None:
+        self._batch_timer = None
+        if not self._alert_batch or self.status != NodeStatus.ACTIVE:
+            self._alert_batch.clear()
+            return
+        batch = BatchedAlerts(sender=self.addr, alerts=tuple(self._alert_batch))
+        self._alert_batch.clear()
+        self.broadcaster.broadcast(batch)
+
+    def _on_alert(self, alert: Alert) -> None:
+        if self.status != NodeStatus.ACTIVE or self.config is None:
+            return
+        if alert.config_id != self.config.config_id:
+            return
+        in_view = alert.subject in self.config
+        if alert.kind == AlertKind.REMOVE and not in_view:
+            return
+        if alert.kind == AlertKind.JOIN:
+            if in_view or self.config.has_uuid(alert.joiner_uuid):
+                return
+            if alert.metadata:
+                self._joiner_metadata[alert.subject] = alert.metadata
+        proposal = self.cut_detector.receive_alert(alert, self.runtime.now())
+        if proposal:
+            self.consensus.propose(proposal)
+
+    # -------------------------------------------------------------- consensus
+
+    def _on_consensus(self, src: Endpoint, msg: Any) -> None:
+        if (
+            self.status == NodeStatus.ACTIVE
+            and self.consensus is not None
+            and msg.config_id == self.config.config_id
+        ):
+            self.consensus.handle(src, msg)
+            return
+        # Repair: a laggard is still deciding a configuration we already
+        # moved past — hand it the decision directly.
+        decided = self._recent_decisions.get(msg.config_id)
+        if decided is not None and not isinstance(msg, Decision):
+            self.runtime.send(
+                src,
+                Decision(sender=self.addr, config_id=msg.config_id, value=decided),
+            )
+
+    def _on_decide(self, proposal: Proposal) -> None:
+        if self.config is None:
+            return
+        old_config = self.config
+        self._recent_decisions[old_config.config_id] = proposal
+        if len(self._recent_decisions) > 4:
+            self._recent_decisions.pop(next(iter(self._recent_decisions)))
+        try:
+            new_config = old_config.apply(proposal)
+        except ValueError:
+            return  # malformed proposal cannot install; should not happen
+        joined = tuple(c.endpoint for c in proposal if c.kind == AlertKind.JOIN)
+        removed = tuple(c.endpoint for c in proposal if c.kind == AlertKind.REMOVE)
+        for endpoint in joined:
+            meta = self._joiner_metadata.pop(endpoint, None)
+            if meta:
+                self.metadata_store[endpoint] = dict(meta)
+        for endpoint in removed:
+            self.metadata_store.pop(endpoint, None)
+        if self.addr in removed:
+            self._become_kicked(old_config)
+            return
+        self._install(new_config, joined=joined, removed=removed)
+
+    def _become_kicked(self, old_config: Configuration) -> None:
+        self.status = NodeStatus.KICKED
+        if self.consensus is not None:
+            self.consensus.cancel_timers()
+        event = ViewChangeEvent(
+            configuration=old_config,
+            joined=(),
+            removed=(self.addr,),
+            kicked=True,
+            time=self.runtime.now(),
+        )
+        if self.on_view_change is not None:
+            self.on_view_change(event)
+
+    # ----------------------------------------------------------- installation
+
+    def _install(
+        self, config: Configuration, joined: tuple, removed: tuple
+    ) -> None:
+        """Install a configuration and reset all per-view protocol state."""
+        if self.consensus is not None:
+            self.consensus.cancel_timers()
+        self.config = config
+        self.status = NodeStatus.ACTIVE
+        self.view_changes_installed += 1
+        self.topology = KRingTopology.for_configuration(config, self.settings.k)
+        self.cut_detector = MultiNodeCutDetector(
+            self.settings.k, self.settings.h, self.settings.l, self.topology
+        )
+        self.broadcaster.set_membership(config.members)
+        self.consensus = FastPaxos(
+            runtime=self.runtime,
+            members=config.members,
+            config_id=config.config_id,
+            settings=self.settings,
+            broadcast=self.broadcaster.broadcast,
+            on_decide=self._on_decide,
+        )
+        # Reset monitoring for the new topology.
+        self._subjects = [
+            s for s in dict.fromkeys(self.topology.subjects_of(self.addr)) if s != self.addr
+        ]
+        self._detectors = {s: self.detector_factory() for s in self._subjects}
+        self._alerted.clear()
+        self._pending_probes.clear()
+        self._alert_batch.clear()
+        # Answer joiners admitted by this view change; joiners whose alerts
+        # did not make this cut are told to restart promptly against the new
+        # configuration (otherwise they would idle out their join timeout,
+        # which cascades badly during mass bootstraps).
+        for joiner in joined:
+            if joiner in self._pending_joiners:
+                uuid = self._pending_joiners.pop(joiner)
+                if config.uuid_of(joiner) == uuid:
+                    self.runtime.send(joiner, self._join_response(config))
+        for joiner in list(self._pending_joiners):
+            if joiner in config:
+                self._pending_joiners.pop(joiner)
+                continue
+            self._pending_joiners.pop(joiner)
+            self.runtime.send(
+                joiner,
+                JoinResponse(
+                    sender=self.addr,
+                    status=JoinStatus.CONFIG_CHANGED,
+                    config_id=config.config_id,
+                ),
+            )
+        event = ViewChangeEvent(
+            configuration=config,
+            joined=joined,
+            removed=removed,
+            kicked=False,
+            time=self.runtime.now(),
+        )
+        if self.event_log is not None:
+            self.event_log.record(
+                self.runtime.now(),
+                self.addr,
+                config.config_id,
+                config.size,
+                joins=len(joined),
+                removes=len(removed),
+            )
+        if self.on_view_change is not None:
+            self.on_view_change(event)
+
+    def _join_response(self, config: Configuration) -> JoinResponse:
+        metadata = tuple(
+            (endpoint, tuple(sorted(meta.items())))
+            for endpoint, meta in sorted(self.metadata_store.items())
+        )
+        return JoinResponse(
+            sender=self.addr,
+            status=JoinStatus.SAFE_TO_JOIN,
+            config_id=config.config_id,
+            members=config.members,
+            uuids=config.uuids,
+            seq=config.seq,
+            metadata=metadata,
+        )
+
+    def _install_joined_view(self, msg: JoinResponse) -> None:
+        """Called by the join protocol when our admission is confirmed."""
+        config = Configuration(members=msg.members, uuids=msg.uuids, seq=msg.seq)
+        for endpoint, meta in msg.metadata:
+            self.metadata_store[endpoint] = dict(meta)
+        self.metadata_store[self.addr] = dict(self.metadata)
+        self._join_protocol = None
+        self._install(config, joined=(self.addr,), removed=())
+
+    # ------------------------------------------------------------------- join
+
+    def _on_pre_join_request(self, src: Endpoint, msg: PreJoinRequest) -> None:
+        if self.status != NodeStatus.ACTIVE or self.config is None:
+            return
+        if msg.sender in self.config:
+            if self.config.uuid_of(msg.sender) == msg.uuid:
+                # The join already succeeded but the response was lost.
+                self.runtime.send(msg.sender, self._join_response(self.config))
+            else:
+                self.runtime.send(
+                    msg.sender,
+                    PreJoinResponse(
+                        sender=self.addr,
+                        status=JoinStatus.UUID_IN_USE,
+                        config_id=self.config.config_id,
+                    ),
+                )
+            return
+        if self.config.has_uuid(msg.uuid):
+            self.runtime.send(
+                msg.sender,
+                PreJoinResponse(
+                    sender=self.addr,
+                    status=JoinStatus.UUID_IN_USE,
+                    config_id=self.config.config_id,
+                ),
+            )
+            return
+        observers = tuple(self.topology.observers_of(msg.sender))
+        self.runtime.send(
+            msg.sender,
+            PreJoinResponse(
+                sender=self.addr,
+                status=JoinStatus.SAFE_TO_JOIN,
+                config_id=self.config.config_id,
+                observers=observers,
+            ),
+        )
+
+    def _on_join_request(self, src: Endpoint, msg: JoinRequest) -> None:
+        if self.status != NodeStatus.ACTIVE or self.config is None:
+            return
+        if msg.config_id != self.config.config_id:
+            if msg.sender in self.config and self.config.uuid_of(msg.sender) == msg.uuid:
+                self.runtime.send(msg.sender, self._join_response(self.config))
+            else:
+                self.runtime.send(
+                    msg.sender,
+                    JoinResponse(
+                        sender=self.addr,
+                        status=JoinStatus.CONFIG_CHANGED,
+                        config_id=self.config.config_id,
+                    ),
+                )
+            return
+        rings = tuple(self.topology.observer_rings(self.addr, msg.sender))
+        if not rings:
+            self.runtime.send(
+                msg.sender,
+                JoinResponse(
+                    sender=self.addr,
+                    status=JoinStatus.CONFIG_CHANGED,
+                    config_id=self.config.config_id,
+                ),
+            )
+            return
+        self._pending_joiners[msg.sender] = msg.uuid
+        self._enqueue_alert(
+            Alert(
+                observer=self.addr,
+                subject=msg.sender,
+                kind=AlertKind.JOIN,
+                config_id=self.config.config_id,
+                ring_numbers=rings,
+                joiner_uuid=msg.uuid,
+                metadata=msg.metadata,
+            )
+        )
+
+    def _on_leave_notification(self, src: Endpoint, msg: LeaveNotification) -> None:
+        if self.status != NodeStatus.ACTIVE or self.config is None:
+            return
+        if msg.config_id != self.config.config_id or msg.sender not in self.config:
+            return
+        self._announce_removal(msg.sender)

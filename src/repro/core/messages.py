@@ -1,0 +1,297 @@
+"""Wire messages of the Rapid protocol.
+
+All messages are frozen dataclasses so they are hashable, comparable, and
+safe to share between simulated processes.  ``config_id`` fields scope every
+message to one configuration: each configuration is logically a fresh
+instance of the protocol (virtual synchrony, paper section 4), so nodes
+discard messages tagged with a configuration other than their current one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.node_id import Endpoint
+
+__all__ = [
+    "AlertKind",
+    "Change",
+    "Proposal",
+    "proposal_sort_key",
+    "Alert",
+    "BatchedAlerts",
+    "Probe",
+    "ProbeAck",
+    "PreJoinRequest",
+    "PreJoinResponse",
+    "JoinRequest",
+    "JoinResponse",
+    "LeaveNotification",
+    "VoteBundle",
+    "Decision",
+    "Phase1a",
+    "Phase1b",
+    "Phase2a",
+    "Phase2b",
+    "GossipEnvelope",
+    "ViewProbe",
+    "ViewUpdate",
+    "JoinStatus",
+]
+
+
+class AlertKind:
+    """Edge alert types (paper section 4.1): JOIN and REMOVE."""
+
+    JOIN = "join"
+    REMOVE = "remove"
+
+
+class JoinStatus:
+    """Responses a joiner may receive during the join protocol."""
+
+    SAFE_TO_JOIN = "safe-to-join"
+    CONFIG_CHANGED = "config-changed"
+    UUID_IN_USE = "uuid-in-use"
+    NOT_IN_RING = "not-in-ring"
+
+
+@dataclass(frozen=True, order=True)
+class Change:
+    """One element of a multi-process cut: add or remove one endpoint."""
+
+    endpoint: Endpoint
+    kind: str  # AlertKind.JOIN or AlertKind.REMOVE
+    uuid: int = 0  # logical id of the joiner (0 for removals)
+
+
+# A consensus value: the sorted tuple of changes forming one cut.
+Proposal = tuple  # tuple[Change, ...]
+
+
+def proposal_sort_key(change: Change) -> tuple:
+    return (change.endpoint, change.kind, change.uuid)
+
+
+def make_proposal(changes) -> Proposal:
+    """Canonicalize an iterable of changes into a hashable proposal."""
+    return tuple(sorted(changes, key=proposal_sort_key))
+
+
+# --------------------------------------------------------------- monitoring
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Edge-monitoring probe from an observer to its subject."""
+
+    sender: Endpoint
+    config_id: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class ProbeAck:
+    """Subject's reply; ``bootstrapping`` is true while the subject has
+    asked to join but has not yet seen itself in a configuration, so that
+    observers do not condemn a slow joiner."""
+
+    sender: Endpoint
+    config_id: int
+    seq: int
+    bootstrapping: bool = False
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An irrevocable edge alert broadcast by an observer about a subject.
+
+    ``ring_numbers`` lists the rings on which ``observer`` precedes
+    ``subject``; in small clusters one observer can represent several rings,
+    and the cut detector tallies *rings*, not observer addresses.
+    """
+
+    observer: Endpoint
+    subject: Endpoint
+    kind: str
+    config_id: int
+    ring_numbers: tuple = ()
+    joiner_uuid: int = 0
+    metadata: tuple = ()  # ((key, value), ...) for JOIN alerts
+
+
+@dataclass(frozen=True)
+class BatchedAlerts:
+    """Alerts buffered over the batching window and sent as one message."""
+
+    sender: Endpoint
+    alerts: tuple = ()
+
+
+# --------------------------------------------------------------------- join
+
+
+@dataclass(frozen=True)
+class PreJoinRequest:
+    """Joiner -> seed: discover configuration and temporary observers."""
+
+    sender: Endpoint
+    uuid: int
+
+
+@dataclass(frozen=True)
+class PreJoinResponse:
+    """Seed -> joiner: the observers that will vouch for the join."""
+
+    sender: Endpoint
+    status: str
+    config_id: int
+    observers: tuple = ()
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Joiner -> temporary observer: please broadcast a JOIN alert."""
+
+    sender: Endpoint
+    uuid: int
+    config_id: int
+    ring_numbers: tuple = ()
+    metadata: tuple = ()  # ((key, value), ...)
+
+
+@dataclass(frozen=True)
+class JoinResponse:
+    """Member -> joiner after the view change admitting it was decided.
+
+    Carries the full new view (sorted members, aligned uuids, and the view
+    sequence number) so the joiner reconstructs a bit-identical
+    :class:`~repro.core.configuration.Configuration`.
+    """
+
+    sender: Endpoint
+    status: str
+    config_id: int
+    members: tuple = ()
+    uuids: tuple = ()
+    seq: int = 0
+    metadata: tuple = ()  # ((endpoint, ((k, v), ...)), ...)
+
+
+@dataclass(frozen=True)
+class LeaveNotification:
+    """Voluntarily departing node -> its observers, who then broadcast
+    REMOVE alerts on its behalf (graceful leave)."""
+
+    sender: Endpoint
+    config_id: int
+    ring_numbers: tuple = ()
+
+
+# ---------------------------------------------------------------- consensus
+
+
+@dataclass(frozen=True)
+class VoteBundle:
+    """Aggregated fast-path votes, gossiped until a quorum is observed.
+
+    ``proposals`` and ``bitmaps`` are parallel tuples: ``bitmaps[i]`` is an
+    integer whose set bits are the membership indices of nodes known to have
+    voted for ``proposals[i]``.  Merging bundles is a bitwise OR, so the
+    aggregate only grows — exactly the paper's "gossip to disseminate and
+    aggregate a bitmap of votes for each unique proposal".
+    """
+
+    sender: Endpoint
+    config_id: int
+    proposals: tuple = ()  # tuple[Proposal, ...]
+    bitmaps: tuple = ()  # tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Learn message: broadcast by a node once it observes a quorum, so
+    laggards adopt the decided view change without re-counting votes."""
+
+    sender: Endpoint
+    config_id: int
+    value: Proposal = ()
+
+
+@dataclass(frozen=True)
+class Phase1a:
+    """Classical Paxos prepare from a recovery coordinator."""
+
+    sender: Endpoint
+    config_id: int
+    rank: tuple  # (round, node_index)
+
+
+@dataclass(frozen=True)
+class Phase1b:
+    """Acceptor promise; carries the highest-rank accepted vote, which may
+    be the node's fast-round vote (rank ``(1, 0)``)."""
+
+    sender: Endpoint
+    config_id: int
+    rank: tuple
+    vrank: Optional[tuple] = None
+    vvalue: Optional[Proposal] = None
+
+
+@dataclass(frozen=True)
+class Phase2a:
+    """Coordinator accept-request with the value chosen by the recovery
+    value-picking rule."""
+
+    sender: Endpoint
+    config_id: int
+    rank: tuple
+    value: Proposal = ()
+
+
+@dataclass(frozen=True)
+class Phase2b:
+    """Acceptor accept acknowledgement; a majority of identical ranks
+    decides."""
+
+    sender: Endpoint
+    config_id: int
+    rank: tuple
+    value: Proposal = ()
+
+
+# ----------------------------------------------------------------- gossip
+
+
+@dataclass(frozen=True)
+class GossipEnvelope:
+    """Epidemic broadcast wrapper: payload plus dedup id and hop budget."""
+
+    sender: Endpoint
+    message_id: int
+    hops_left: int
+    payload: object = None
+
+
+# ------------------------------------------------- logically centralized
+
+
+@dataclass(frozen=True)
+class ViewProbe:
+    """Cluster member -> ensemble: "is there a view newer than mine?"."""
+
+    sender: Endpoint
+    config_id: int
+
+
+@dataclass(frozen=True)
+class ViewUpdate:
+    """Ensemble -> cluster member: the authoritative membership view."""
+
+    sender: Endpoint
+    config_id: int
+    members: tuple = ()
+    uuids: tuple = ()
+    seq: int = 0

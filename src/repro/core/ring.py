@@ -1,0 +1,155 @@
+"""The K-ring expander monitoring topology (paper section 4.1).
+
+Rapid arranges the membership set into ``K`` pseudo-random rings.  Each ring
+is the full membership ordered by a per-ring hash of the member's address.
+A pair ``(o, s)`` is an observer/subject edge when ``o`` immediately
+precedes ``s`` on some ring.  Every process therefore has exactly ``K``
+observers and ``K`` subjects (counted with multiplicity — in small clusters
+the same process can precede a subject on several rings, which is why alert
+messages carry ring numbers rather than just observer addresses).
+
+The union of the rings is a random ``2K``-regular multigraph, which is a
+good expander with high probability [Friedman-Kahn-Szemerédi, STOC'89]; see
+:mod:`repro.analysis.eigen` for the second-eigenvalue measurement backing
+the paper's section 8 analysis.
+
+The topology is **deterministic over the membership set**: every process
+that installs the same configuration computes identical rings without any
+coordination.  Because all processes in a simulation share configurations,
+topologies are memoized per ``(config_id, k)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import OrderedDict
+from typing import Iterable, Optional, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.node_id import Endpoint, stable_hash64
+
+__all__ = ["KRingTopology"]
+
+
+def _ring_key(ring: int, endpoint: Endpoint) -> int:
+    return stable_hash64("ring", ring, str(endpoint))
+
+
+class KRingTopology:
+    """Observer/subject relationships for one membership set.
+
+    Parameters
+    ----------
+    members:
+        The membership set (any order; rings impose their own orders).
+    k:
+        Number of rings.
+    """
+
+    def __init__(self, members: Iterable[Endpoint], k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.members: tuple = tuple(sorted(set(members)))
+        if not self.members:
+            raise ValueError("topology requires at least one member")
+        # Per ring: endpoints sorted by their ring key, plus the key list
+        # (for bisect-based insertion of prospective joiners).
+        self._rings: list[list[Endpoint]] = []
+        self._keys: list[list[int]] = []
+        self._pos: list[dict[Endpoint, int]] = []
+        for ring in range(k):
+            keyed = sorted(
+                ((_ring_key(ring, m), m) for m in self.members),
+                key=lambda pair: (pair[0], str(pair[1])),
+            )
+            order = [m for _, m in keyed]
+            self._rings.append(order)
+            self._keys.append([key for key, _ in keyed])
+            self._pos.append({m: i for i, m in enumerate(order)})
+
+    # ------------------------------------------------------------------ cache
+
+    _cache: "OrderedDict[tuple, KRingTopology]" = OrderedDict()
+    _CACHE_SIZE = 128
+
+    @classmethod
+    def for_configuration(cls, config: Configuration, k: int) -> "KRingTopology":
+        """Memoized constructor; all nodes sharing a view share a topology."""
+        key = (config.config_id, k)
+        topo = cls._cache.get(key)
+        if topo is None:
+            topo = cls(config.members, k)
+            cls._cache[key] = topo
+            if len(cls._cache) > cls._CACHE_SIZE:
+                cls._cache.popitem(last=False)
+        else:
+            cls._cache.move_to_end(key)
+        return topo
+
+    # ---------------------------------------------------------------- queries
+
+    def ring(self, index: int) -> Sequence[Endpoint]:
+        """The membership ordered along ring ``index``."""
+        return tuple(self._rings[index])
+
+    def observers_of(self, subject: Endpoint) -> list:
+        """The ``K`` observers of ``subject`` (one per ring, duplicates kept).
+
+        For a prospective member (not in the configuration) this returns the
+        *expected* observers — the processes that would precede it on each
+        ring — which is exactly the set of temporary observers the join
+        protocol assigns (paper section 4.1, "Joins").
+        """
+        return [self._neighbor(ring, subject, -1) for ring in range(self.k)]
+
+    def subjects_of(self, observer: Endpoint) -> list:
+        """The ``K`` subjects monitored by ``observer``."""
+        if observer not in self._pos[0]:
+            raise KeyError(f"{observer} is not a member")
+        return [self._neighbor(ring, observer, +1) for ring in range(self.k)]
+
+    def observer_rings(self, observer: Endpoint, subject: Endpoint) -> list:
+        """Ring numbers on which ``observer`` is the observer of ``subject``.
+
+        Alert messages carry these so the cut detector can tally distinct
+        rings even when one process observes a subject on several rings.
+        """
+        return [
+            ring
+            for ring in range(self.k)
+            if self._neighbor(ring, subject, -1) == observer
+        ]
+
+    def unique_observers_of(self, subject: Endpoint) -> list:
+        """Deduplicated observers, order-preserving by ring number."""
+        seen = []
+        for obs in self.observers_of(subject):
+            if obs not in seen:
+                seen.append(obs)
+        return seen
+
+    def edges(self) -> list:
+        """All (observer, subject, ring) monitoring edges."""
+        out = []
+        for ring in range(self.k):
+            order = self._rings[ring]
+            n = len(order)
+            for i, observer in enumerate(order):
+                out.append((observer, order[(i + 1) % n], ring))
+        return out
+
+    # --------------------------------------------------------------- internal
+
+    def _neighbor(self, ring: int, endpoint: Endpoint, direction: int) -> Endpoint:
+        order = self._rings[ring]
+        n = len(order)
+        pos = self._pos[ring].get(endpoint)
+        if pos is not None:
+            return order[(pos + direction) % n]
+        # Prospective member: find where it would be inserted on this ring.
+        key = _ring_key(ring, endpoint)
+        idx = bisect.bisect_left(self._keys[ring], key)
+        if direction < 0:
+            return order[(idx - 1) % n]
+        return order[idx % n]

@@ -1,0 +1,106 @@
+"""Tunable parameters of the Rapid protocol.
+
+Defaults follow the paper's evaluation setup (section 7): ``K=10, H=9, L=3``
+for the cut-detection watermarks, an edge failure detector that declares a
+subject unreachable when at least 40% of the last 10 probes failed, and a
+Fast Paxos quorum of three quarters of the membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["RapidSettings", "BroadcastMode"]
+
+
+class BroadcastMode:
+    """How alert and vote messages are disseminated cluster-wide."""
+
+    UNICAST_ALL = "unicast-all"
+    GOSSIP = "gossip"
+
+
+@dataclass
+class RapidSettings:
+    """Configuration knobs for a Rapid node.
+
+    Attributes
+    ----------
+    k:
+        Number of pseudo-random rings; each process has ``k`` observers and
+        ``k`` subjects (paper section 4.1).
+    h:
+        High watermark: a subject with at least ``h`` distinct observer
+        reports is in *stable* report mode.
+    l:
+        Low watermark: fewer than ``l`` reports is noise; between ``l`` and
+        ``h`` is the *unstable* region that blocks proposals.
+    probe_interval:
+        Seconds between edge-monitoring probes to each subject.
+    probe_timeout:
+        Seconds an observer waits before counting a probe as failed.
+    failure_threshold / detector_window:
+        The default edge detector marks an edge faulty when
+        ``failure_threshold`` of the last ``detector_window`` probes failed
+        (40% of 10, per the paper's implementation section).
+    batching_window:
+        Alerts are buffered this many seconds and broadcast as one batched
+        message, like the reference implementation.
+    consensus_fallback_timeout:
+        Base seconds to wait for a fast-path decision before falling back to
+        classical Paxos.
+    consensus_rank_delay:
+        Extra per-rank stagger before a node tries to coordinate a classical
+        round, so that the lowest-ranked live node usually runs it alone.
+    reinforcement_timeout:
+        Seconds a subject may linger in the unstable region before its
+        observers echo REMOVE alerts (section 4.2, "reinforcements").
+    gossip_interval / gossip_fanout:
+        Parameters of the epidemic broadcast used for alert dissemination
+        and consensus vote counting when ``broadcast_mode`` is ``GOSSIP``.
+    join_timeout:
+        Seconds a joiner waits for a join to complete before retrying.
+    view_probe_interval:
+        Rapid-C only: how often cluster members poll the ensemble for view
+        updates (the paper uses 5 seconds to mirror its ZooKeeper setup).
+    """
+
+    k: int = 10
+    h: int = 9
+    l: int = 3
+
+    probe_interval: float = 1.0
+    probe_timeout: float = 1.0
+    failure_threshold: float = 0.4
+    detector_window: int = 10
+
+    batching_window: float = 0.1
+
+    consensus_fallback_timeout: float = 8.0
+    consensus_rank_delay: float = 1.0
+
+    reinforcement_timeout: float = 10.0
+
+    broadcast_mode: str = BroadcastMode.UNICAST_ALL
+    gossip_interval: float = 0.2
+    gossip_fanout: int = 8
+
+    join_timeout: float = 5.0
+    view_probe_interval: float = 5.0
+
+    # View-size sampling period used by experiment traces (the paper's
+    # agents log their view once per second).
+    report_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.l <= self.h <= self.k):
+            raise ValueError(
+                f"watermarks must satisfy 1 <= L <= H <= K, "
+                f"got K={self.k}, H={self.h}, L={self.l}"
+            )
+        if self.k < 1:
+            raise ValueError("k must be positive")
+
+    def scaled(self, **overrides) -> "RapidSettings":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)

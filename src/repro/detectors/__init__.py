@@ -1,0 +1,15 @@
+"""Pluggable edge failure detectors for Rapid's monitoring overlay."""
+
+from repro.detectors.base import DetectorFactory, EdgeFailureDetector
+from repro.detectors.ping_timeout import PingTimeoutDetector
+from repro.detectors.phi_accrual import PhiAccrualDetector, phi
+from repro.detectors.adaptive import AdaptiveTimeoutDetector
+
+__all__ = [
+    "EdgeFailureDetector",
+    "DetectorFactory",
+    "PingTimeoutDetector",
+    "PhiAccrualDetector",
+    "AdaptiveTimeoutDetector",
+    "phi",
+]

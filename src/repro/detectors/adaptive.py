@@ -1,0 +1,56 @@
+"""History-based adaptive timeout detector.
+
+In the spirit of the adaptive techniques the paper cites (Hystrix, Finagle):
+the acceptable silence period adapts to observed round-trip times
+(mean + ``k`` standard deviations), and the edge is declared faulty after
+``max_consecutive`` probes in a row exceed it.  Compared to the default
+window detector this reacts faster on consistently fast networks and slower
+on jittery ones.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.detectors.base import EdgeFailureDetector
+
+__all__ = ["AdaptiveTimeoutDetector"]
+
+
+class AdaptiveTimeoutDetector(EdgeFailureDetector):
+    def __init__(
+        self,
+        k_stddev: float = 4.0,
+        window: int = 50,
+        max_consecutive: int = 4,
+        floor: float = 0.010,
+    ) -> None:
+        self.k_stddev = k_stddev
+        self.window = window
+        self.max_consecutive = max_consecutive
+        self.floor = floor
+        self._rtts: deque = deque(maxlen=window)
+        self._consecutive_failures = 0
+        self._failed = False
+
+    def timeout_budget(self) -> float:
+        """Current adaptive timeout (informational; probing still uses the
+        membership layer's fixed probe timeout as an upper bound)."""
+        if not self._rtts:
+            return self.floor * 10
+        mean = sum(self._rtts) / len(self._rtts)
+        var = sum((x - mean) ** 2 for x in self._rtts) / len(self._rtts)
+        return max(self.floor, mean + self.k_stddev * math.sqrt(var))
+
+    def on_probe_success(self, now: float, rtt: float) -> None:
+        self._rtts.append(rtt)
+        self._consecutive_failures = 0
+
+    def on_probe_failure(self, now: float) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.max_consecutive:
+            self._failed = True
+
+    def failed(self) -> bool:
+        return self._failed

@@ -1,0 +1,90 @@
+"""Phi-accrual failure detector [Hayashibara et al. 2004].
+
+Instead of a binary verdict, the detector maintains a suspicion level
+``phi = -log10(P(ack arrives after this long))`` under a normal model of
+historical inter-arrival times.  The edge is declared faulty when ``phi``
+crosses a threshold.  The paper lists phi-accrual as one of the detectors
+that can be plugged into Rapid's edge monitor; Akka and Cassandra use it
+natively, and our Akka-like baseline reuses this implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.detectors.base import EdgeFailureDetector
+
+__all__ = ["PhiAccrualDetector", "phi"]
+
+
+def phi(elapsed: float, mean: float, stddev: float) -> float:
+    """Suspicion level for an ack overdue by ``elapsed`` seconds.
+
+    Uses the logistic approximation to the normal CDF tail that the
+    original paper (and Akka's implementation) uses, which is monotone and
+    cheap to evaluate.
+    """
+    stddev = max(stddev, mean / 10.0, 1e-6)
+    y = (elapsed - mean) / stddev
+    e = math.exp(-y * (1.5976 + 0.070566 * y * y))
+    if elapsed > mean:
+        return -math.log10(e / (1.0 + e))
+    return -math.log10(1.0 - 1.0 / (1.0 + e))
+
+
+class PhiAccrualDetector(EdgeFailureDetector):
+    """Accrual detector driven by probe outcomes.
+
+    Probe successes feed the inter-arrival history.  A probe failure means
+    no ack arrived for a full probe interval; we evaluate phi at the time of
+    the failure against the history and latch when it crosses ``threshold``.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 8.0,
+        window: int = 100,
+        min_samples: int = 3,
+        expected_interval: float = 1.0,
+    ) -> None:
+        self.threshold = threshold
+        self.window = window
+        self.min_samples = min_samples
+        self.expected_interval = expected_interval
+        self._intervals: deque = deque(maxlen=window)
+        self._last_ack: float = -1.0
+        self._failed = False
+
+    def on_probe_success(self, now: float, rtt: float) -> None:
+        if self._last_ack >= 0:
+            self._intervals.append(now - self._last_ack)
+        self._last_ack = now
+
+    def on_probe_failure(self, now: float) -> None:
+        if self._failed:
+            return
+        if len(self._intervals) < self.min_samples or self._last_ack < 0:
+            # Without history, fall back to a fixed multiple of the expected
+            # probe interval: three consecutive silent intervals.
+            if self._last_ack >= 0 and now - self._last_ack > 3 * self.expected_interval:
+                self._failed = True
+            return
+        mean = sum(self._intervals) / len(self._intervals)
+        var = sum((x - mean) ** 2 for x in self._intervals) / len(self._intervals)
+        suspicion = phi(now - self._last_ack, mean, math.sqrt(var))
+        if suspicion >= self.threshold:
+            self._failed = True
+
+    def current_phi(self, now: float) -> float:
+        """Expose the suspicion level (used by the Akka-like baseline)."""
+        if self._last_ack < 0:
+            return 0.0
+        if len(self._intervals) < self.min_samples:
+            return 0.0
+        mean = sum(self._intervals) / len(self._intervals)
+        var = sum((x - mean) ** 2 for x in self._intervals) / len(self._intervals)
+        return phi(now - self._last_ack, mean, math.sqrt(var))
+
+    def failed(self) -> bool:
+        return self._failed

@@ -1,0 +1,63 @@
+"""Default probe-outcome detector.
+
+From the paper's implementation section: "Observers mark an edge faulty
+when the number of communication exceptions they detect exceed a threshold
+(40% of the last 10 measurement attempts fail)."  The window requirement
+makes the detector deliberately sluggish — several seconds of evidence are
+needed before an alert — which is what buys Rapid its stability under
+flaky-but-alive conditions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.detectors.base import EdgeFailureDetector
+
+__all__ = ["PingTimeoutDetector"]
+
+
+class PingTimeoutDetector(EdgeFailureDetector):
+    """Sliding-window failure-fraction detector.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent probe outcomes considered.
+    threshold:
+        Fraction of failures within the window that marks the edge faulty.
+    min_samples:
+        Minimum outcomes before any verdict, so a single lost probe right
+        after a view change cannot condemn an edge.
+    """
+
+    def __init__(
+        self, window: int = 10, threshold: float = 0.4, min_samples: int = 4
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.window = window
+        self.threshold = threshold
+        self.min_samples = min(min_samples, window)
+        self._outcomes: deque = deque(maxlen=window)
+        self._failed = False
+
+    def on_probe_success(self, now: float, rtt: float) -> None:
+        self._outcomes.append(True)
+        self._update()
+
+    def on_probe_failure(self, now: float) -> None:
+        self._outcomes.append(False)
+        self._update()
+
+    def _update(self) -> None:
+        if self._failed or len(self._outcomes) < self.min_samples:
+            return
+        failures = sum(1 for ok in self._outcomes if not ok)
+        if failures / len(self._outcomes) >= self.threshold:
+            self._failed = True
+
+    def failed(self) -> bool:
+        return self._failed

@@ -1,0 +1,537 @@
+"""Experiment scenarios reproducing each table and figure of the paper.
+
+Every function is deterministic given its ``seed`` and returns a plain dict
+of results; the benchmark suite (``benchmarks/``) calls these and renders
+paper-shaped tables, and the test suite asserts the qualitative claims
+(who wins, who is stable, who flaps).
+
+Cluster sizes default to scaled-down values (the paper ran 1000-2000
+processes on 100 VMs; pure-Python simulation of the full size is possible
+but slow).  Scale via the ``n`` arguments or the ``RAPID_BENCH_SCALE``
+environment variable read by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.stats import summarize
+from repro.apps.service_discovery import (
+    Backend,
+    LoadBalancer,
+    ServiceDiscoveryConfig,
+    WorkloadGenerator,
+)
+from repro.apps.txn_platform import DataServer, TxnClient, TxnPlatformConfig
+from repro.baselines.gossip_fd import GossipFdConfig, GossipFdNode
+from repro.baselines.swim import SwimConfig, SwimNode
+from repro.core.cut_detector import MultiNodeCutDetector
+from repro.core.membership import RapidNode
+from repro.core.messages import Alert, AlertKind
+from repro.core.node_id import Endpoint
+from repro.core.ring import KRingTopology
+from repro.core.settings import RapidSettings
+from repro.experiments.harness import harness_for
+from repro.runtime.dispatch import TypeDispatcher
+from repro.sim.cluster import endpoint_for
+from repro.sim.engine import Engine
+from repro.sim.faults import Blackhole, EgressLoss, IngressLoss
+from repro.sim.network import Network
+from repro.sim.process import SimRuntime
+from repro.sim.rng import child_rng
+
+__all__ = [
+    "bootstrap_experiment",
+    "crash_experiment",
+    "packet_loss_experiment",
+    "sensitivity_experiment",
+    "txn_platform_experiment",
+    "service_discovery_experiment",
+    "bandwidth_stats",
+]
+
+
+# ------------------------------------------------------------- Figures 5-7,
+# Table 1: bootstrap
+
+
+def bootstrap_experiment(
+    system: str,
+    n: int,
+    seed: int = 0,
+    timeout: float = 600.0,
+    seed_delay: float = 10.0,
+    stagger: float = 2.0,
+    **harness_kwargs,
+) -> dict:
+    """Bootstrap ``n`` processes and measure convergence.
+
+    Returns convergence time (all processes report ``n``; the paper's
+    Figure 5 metric), per-node first-report times (Figure 6 ECDF), the
+    distinct cluster sizes reported (Table 1), and the aggregate view
+    timeseries (Figure 7).
+    """
+    harness = harness_for(system, seed=seed, **harness_kwargs)
+    endpoints = harness.bootstrap(n, seed_delay=seed_delay, stagger=stagger)
+    convergence = harness.run_until_converged(n, timeout=timeout)
+    # Let reporting ticks observe the final state.
+    harness.run_for(2.0)
+    trace = harness.trace
+    return {
+        "system": system,
+        "n": n,
+        "convergence_time": convergence,
+        "per_node_times": trace.per_node_convergence(endpoints, n),
+        "unique_sizes": trace.unique_sizes(endpoints),
+        "timeseries": trace.aggregate_series(endpoints, step=5.0),
+        "harness": harness,
+    }
+
+
+# ----------------------------------------------------------------- Figure 8,
+# Table 2: crash faults
+
+
+def crash_experiment(
+    system: str,
+    n: int,
+    failures: int = 10,
+    seed: int = 0,
+    settle_timeout: float = 600.0,
+    observe_for: float = 120.0,
+    **harness_kwargs,
+) -> dict:
+    """Bootstrap, then crash ``failures`` processes simultaneously.
+
+    Reports the view-size timeseries around the crash (Figure 8), the time
+    for all survivors to converge to ``n - failures``, and the per-process
+    bandwidth statistics over the run (Table 2).
+    """
+    harness = harness_for(system, seed=seed, **harness_kwargs)
+    endpoints = harness.bootstrap(n, seed_delay=5.0, stagger=1.0)
+    harness.run_until_converged(n, timeout=settle_timeout)
+    harness.run_for(10.0)  # steady state before the fault
+    crash_time = harness.engine.now
+    victims = endpoints[n // 2 : n // 2 + failures]
+    harness.crash(victims)
+    removal_time = harness.run_until_converged(
+        n - failures, timeout=observe_for
+    )
+    harness.run_for(5.0)
+    survivors = [ep for ep in endpoints if ep not in set(victims)]
+    sizes_during = harness.trace.unique_sizes(survivors)
+    return {
+        "system": system,
+        "n": n,
+        "failures": failures,
+        "crash_time": crash_time,
+        "removal_time": (removal_time - crash_time) if removal_time else None,
+        "sizes_reported_by_survivors": sizes_during,
+        "intermediate_sizes": sorted(
+            s for s in sizes_during if n - failures < s < n
+        ),
+        "timeseries": harness.trace.aggregate_series(survivors, step=5.0),
+        "harness": harness,
+    }
+
+
+def bandwidth_stats(harness, endpoints: Sequence[Endpoint], start: float = 0.0) -> dict:
+    """Table 2: mean/p99/max of per-second KB/s across processes."""
+    tx_all: list[float] = []
+    rx_all: list[float] = []
+    for ep in endpoints:
+        tx, rx = harness.network.per_second_rates(ep, start=start)
+        tx_all.extend(tx)
+        rx_all.extend(rx)
+    return {"tx": summarize(tx_all), "rx": summarize(rx_all)}
+
+
+# ------------------------------------------------------- Figures 1, 9, 10:
+# asymmetric and lossy-network faults
+
+
+def packet_loss_experiment(
+    system: str,
+    n: int,
+    faulty_fraction: float = 0.01,
+    loss: float = 0.8,
+    direction: str = "egress",
+    flip_flop: Optional[tuple] = None,
+    seed: int = 0,
+    fault_at: float = 30.0,
+    observe_for: float = 150.0,
+    settle_timeout: float = 600.0,
+    **harness_kwargs,
+) -> dict:
+    """Subject a fraction of processes to packet loss and watch the views.
+
+    * Figure 1:  ``direction="ingress"``, ``loss=0.8`` (80% loss at 1%);
+    * Figure 9:  ``direction="ingress"``, ``loss=1.0``,
+      ``flip_flop=(20, 20)`` (one-way connectivity flapping);
+    * Figure 10: ``direction="egress"``, ``loss=0.8``.
+
+    Returns per-second view statistics for healthy processes, whether the
+    faulty set was removed, and a **stability score**: the total number of
+    distinct view sizes healthy processes reported after the fault (a stable
+    system reports at most two — before and after removal).
+    """
+    harness = harness_for(system, seed=seed, **harness_kwargs)
+    endpoints = harness.bootstrap(n, seed_delay=5.0, stagger=1.0)
+    harness.run_until_converged(n, timeout=settle_timeout)
+    harness.run_for(5.0)
+    fault_start = harness.engine.now + fault_at
+    faulty_count = max(1, int(n * faulty_fraction))
+    faulty = frozenset(endpoints[n // 3 : n // 3 + faulty_count])
+    rule_cls = IngressLoss if direction == "ingress" else EgressLoss
+    rule_kwargs = dict(nodes=faulty, probability=loss, start=fault_start)
+    if flip_flop is not None:
+        rule_kwargs.update(period_on=flip_flop[0], period_off=flip_flop[1])
+    harness.network.add_rule(rule_cls(**rule_kwargs))
+    harness.run_for(fault_at + observe_for)
+    healthy = [ep for ep in endpoints if ep not in faulty]
+    sizes_after = set()
+    for ep in healthy:
+        for t, s, _ in harness.trace.samples.get(ep, ()):
+            if t >= fault_start:
+                sizes_after.add(s)
+    final_sizes = set(
+        harness.trace.sizes_at(harness.engine.now - 1.0, healthy)
+    )
+    expected = n - faulty_count
+    return {
+        "system": system,
+        "n": n,
+        "faulty": sorted(str(e) for e in faulty),
+        "fault_start": fault_start,
+        "sizes_after_fault": sorted(sizes_after),
+        "stability_score": len(sizes_after),
+        "final_sizes": sorted(final_sizes),
+        "removed_faulty": final_sizes == {expected},
+        "reacted": any(s != n for s in sizes_after),
+        "timeseries": harness.trace.aggregate_series(healthy, step=5.0),
+        "harness": harness,
+    }
+
+
+# ---------------------------------------------------------------- Figure 11:
+# K, H, L sensitivity of almost-everywhere agreement
+
+
+def sensitivity_experiment(
+    k: int = 10,
+    h_values: Iterable[int] = (6, 7, 8, 9),
+    l_values: Iterable[int] = (1, 2, 3, 4),
+    f_values: Iterable[int] = (2, 4, 8, 16),
+    n: int = 1000,
+    repetitions: int = 20,
+    observers_sampled: int = 250,
+    seed: int = 0,
+) -> dict:
+    """Figure 11: conflict probability of the CD scheme.
+
+    Follows the paper's methodology directly: pick ``F`` random processes to
+    fail, generate the alerts their observers would broadcast, deliver them
+    to each (sampled) process in a uniform random order, and count processes
+    whose first proposal does not contain the full failed set.
+
+    Returns ``{(h, l, f): conflict_rate_percent}``.
+    """
+    rng = child_rng(seed, "sensitivity")
+    members = [endpoint_for(i) for i in range(n)]
+    topology = KRingTopology(members, k)
+    results: dict[tuple, float] = {}
+    for h in h_values:
+        for l in l_values:
+            if not (1 <= l <= h <= k):
+                continue
+            for f in f_values:
+                conflicts = 0
+                trials = 0
+                for rep in range(repetitions):
+                    failed = rng.sample(members, f)
+                    failed_set = frozenset(failed)
+                    alerts = _alerts_for_failures(topology, failed, k)
+                    sample = min(observers_sampled, n)
+                    for _ in range(sample):
+                        order = alerts[:]
+                        rng.shuffle(order)
+                        detector = MultiNodeCutDetector(k, h, l, topology)
+                        first_proposal = None
+                        for alert in order:
+                            proposal = detector.receive_alert(alert)
+                            if proposal and first_proposal is None:
+                                first_proposal = proposal
+                                break
+                        trials += 1
+                        if first_proposal is not None:
+                            proposed = {c.endpoint for c in first_proposal}
+                            if not failed_set <= proposed:
+                                conflicts += 1
+                results[(h, l, f)] = 100.0 * conflicts / max(trials, 1)
+    return {"k": k, "n": n, "conflict_rates": results}
+
+
+def _alerts_for_failures(
+    topology: KRingTopology, failed: Sequence[Endpoint], k: int
+) -> list:
+    alerts = []
+    for subject in failed:
+        by_observer: dict[Endpoint, list] = {}
+        for ring, observer in enumerate(topology.observers_of(subject)):
+            by_observer.setdefault(observer, []).append(ring)
+        for observer, rings in by_observer.items():
+            alerts.append(
+                Alert(
+                    observer=observer,
+                    subject=subject,
+                    kind=AlertKind.REMOVE,
+                    config_id=0,
+                    ring_numbers=tuple(rings),
+                )
+            )
+    return alerts
+
+
+# ---------------------------------------------------------------- Figure 12:
+# transactional data platform
+
+
+def txn_platform_experiment(
+    failure_detector: str = "gossip",
+    n_servers: int = 6,
+    n_clients: int = 2,
+    duration: float = 50.0,
+    fault_at: float = 10.0,
+    seed: int = 0,
+    config: Optional[TxnPlatformConfig] = None,
+) -> dict:
+    """Figure 12: blackhole between the serialization server and one data
+    server, under the all-to-all gossip FD ("gossip") or Rapid ("rapid").
+
+    Returns committed counts, latency summaries before/after the fault, and
+    the number of failovers each server observed.
+    """
+    config = config or TxnPlatformConfig()
+    engine = Engine()
+    network = Network(engine, seed=seed)
+    server_eps = [endpoint_for(i) for i in range(n_servers)]
+    client_eps = [Endpoint(f"10.254.0.{i + 1}", 7000) for i in range(n_clients)]
+    servers: list[DataServer] = []
+    agents = []
+    for i, ep in enumerate(server_eps):
+        runtime = SimRuntime(engine, network, ep, seed=seed)
+        dispatcher = TypeDispatcher(runtime)
+        server = DataServer(dispatcher, server_eps, config)
+        servers.append(server)
+        if failure_detector == "gossip":
+            agent = GossipFdNode(
+                _Subruntime(runtime, dispatcher),
+                server_eps,
+                GossipFdConfig(),
+                on_view_change=server.on_view_change,
+            )
+            agent.start()
+        elif failure_detector == "rapid":
+            rapid_settings = RapidSettings(
+                consensus_fallback_timeout=4.0, join_timeout=2.0
+            )
+            node = RapidNode(
+                _Subruntime(runtime, dispatcher),
+                rapid_settings,
+                seeds=(server_eps[0],),
+                on_view_change=lambda event, s=server: s.on_view_change(
+                    event.configuration.members
+                ),
+            )
+            if i == 0:
+                node.start()
+            else:
+                engine.schedule(0.5, node.start)
+        else:
+            raise ValueError(f"unknown failure detector {failure_detector!r}")
+        agents.append(agent if failure_detector == "gossip" else node)
+    clients = [
+        TxnClient(SimRuntime(engine, network, ep, seed=seed), server_eps, config)
+        for ep in client_eps
+    ]
+    engine.run(until=8.0)  # membership settles
+    for client in clients:
+        client.start()
+    start_time = engine.now
+    # The serializer is the lowest-addressed server; blackhole it against
+    # the highest-addressed one (which is not on any client's critical path).
+    serializer = min(server_eps)
+    isolated = max(server_eps)
+    engine.schedule(
+        fault_at, network.add_rule, Blackhole(serializer, isolated)
+    )
+    engine.run(until=start_time + duration)
+    for client in clients:
+        client.stop()
+    all_latencies = [item for c in clients for item in c.latencies]
+    before = [lat for t, lat in all_latencies if t < start_time + fault_at]
+    after = [lat for t, lat in all_latencies if t >= start_time + fault_at]
+    committed_after = len(after)
+    throughput_after = committed_after / max(duration - fault_at, 1e-9)
+    throughput_before = len(before) / max(fault_at, 1e-9)
+    return {
+        "failure_detector": failure_detector,
+        "committed": sum(c.committed for c in clients),
+        "retries": sum(c.retries for c in clients),
+        "failovers": max(s.failovers_observed for s in servers),
+        "latency_before_ms": summarize([v * 1000 for v in before]),
+        "latency_after_ms": summarize([v * 1000 for v in after]),
+        "throughput_before": throughput_before,
+        "throughput_after": throughput_after,
+        "latency_series": _latency_series(all_latencies),
+    }
+
+
+def _latency_series(latencies: list, bucket: float = 1.0) -> list:
+    from repro.analysis.stats import percentile
+
+    by_bucket: dict[int, list] = {}
+    for t, lat in latencies:
+        by_bucket.setdefault(int(t / bucket), []).append(lat * 1000)
+    return [
+        (b * bucket, percentile(vs, 50), percentile(vs, 99), max(vs))
+        for b, vs in sorted(by_bucket.items())
+    ]
+
+
+# ---------------------------------------------------------------- Figure 13:
+# service discovery
+
+
+def service_discovery_experiment(
+    membership: str = "rapid",
+    n_backends: int = 50,
+    failures: int = 10,
+    fail_at: float = 30.0,
+    duration: float = 60.0,
+    seed: int = 0,
+    config: Optional[ServiceDiscoveryConfig] = None,
+) -> dict:
+    """Figure 13: LB + backend fleet; fail ``failures`` backends mid-run.
+
+    ``membership`` is ``"rapid"`` or ``"swim"`` (standing in for Serf).
+    Returns the latency series, reload count, and tail latency after the
+    failure.
+    """
+    config = config or ServiceDiscoveryConfig()
+    engine = Engine()
+    network = Network(engine, seed=seed)
+    lb_ep = Endpoint("10.254.1.1", 80)
+    gen_ep = Endpoint("10.254.1.2", 9999)
+    backend_eps = [endpoint_for(i) for i in range(n_backends)]
+
+    lb_runtime = SimRuntime(engine, network, lb_ep, seed=seed)
+    lb_dispatcher = TypeDispatcher(lb_runtime)
+    lb = LoadBalancer(lb_dispatcher, backend_eps, config)
+
+    backend_runtimes = {}
+    for ep in backend_eps:
+        runtime = SimRuntime(engine, network, ep, seed=seed)
+        dispatcher = TypeDispatcher(runtime)
+        Backend(dispatcher, config)
+        backend_runtimes[ep] = (runtime, dispatcher)
+
+    if membership == "swim":
+        swim_config = SwimConfig()
+        lb_agent = SwimNode(
+            _Subruntime(lb_runtime, lb_dispatcher),
+            seeds=(),
+            config=swim_config,
+            on_view_change=lb.on_view_change,
+        )
+        lb_agent.start()
+        for ep, (runtime, dispatcher) in backend_runtimes.items():
+            agent = SwimNode(
+                _Subruntime(runtime, dispatcher), seeds=(lb_ep,), config=swim_config
+            )
+            engine.schedule(0.5, agent.start)
+    elif membership == "rapid":
+        rapid_settings = RapidSettings(join_timeout=2.0)
+        lb_agent = RapidNode(
+            _Subruntime(lb_runtime, lb_dispatcher),
+            rapid_settings,
+            seeds=(lb_ep,),
+            on_view_change=lambda event: lb.on_view_change(
+                event.configuration.members
+            ),
+        )
+        lb_agent.start()
+        for ep, (runtime, dispatcher) in backend_runtimes.items():
+            node = RapidNode(
+                _Subruntime(runtime, dispatcher), rapid_settings, seeds=(lb_ep,)
+            )
+            engine.schedule(0.5, node.start)
+    else:
+        raise ValueError(f"unknown membership {membership!r}")
+
+    # Wait for discovery to settle, then start the workload clock at 0.
+    engine.run(until=20.0)
+    generator = WorkloadGenerator(
+        SimRuntime(engine, network, gen_ep, seed=seed), lb_ep, config
+    )
+    generator.start()
+    start_time = engine.now
+    victims = backend_eps[:failures]
+    engine.schedule(
+        fail_at, lambda: [backend_runtimes[ep][0].crash() for ep in victims]
+    )
+    engine.run(until=start_time + duration)
+    generator.stop()
+    after = [
+        lat * 1000
+        for t, lat in generator.latencies
+        if t - start_time >= fail_at
+    ]
+    before = [
+        lat * 1000
+        for t, lat in generator.latencies
+        if t - start_time < fail_at
+    ]
+    series = [
+        (t - start_time, p50, p99, mx)
+        for t, p50, p99, mx in generator.latency_series()
+        if t >= start_time
+    ]
+    return {
+        "membership": membership,
+        "reloads": lb.reloads,
+        "timeouts": generator.timeouts,
+        "served": len(generator.latencies),
+        "latency_before_ms": summarize(before),
+        "latency_after_ms": summarize(after),
+        "latency_series": series,
+    }
+
+
+class _Subruntime:
+    """A runtime view that shares a dispatcher-managed endpoint.
+
+    Protocol agents call ``runtime.attach(handler)`` in their constructors;
+    when an endpoint hosts both an app and a membership agent, the app owns
+    the dispatcher and the agent's attach must land in the dispatcher's
+    default slot instead of clobbering the socket.
+    """
+
+    def __init__(self, runtime: SimRuntime, dispatcher: TypeDispatcher) -> None:
+        self._runtime = runtime
+        self._dispatcher = dispatcher
+        self.addr = runtime.addr
+        self.rng = runtime.rng
+
+    def now(self) -> float:
+        return self._runtime.now()
+
+    def schedule(self, delay, fn, *args):
+        return self._runtime.schedule(delay, fn, *args)
+
+    def send(self, dst, msg):
+        self._runtime.send(dst, msg)
+
+    def attach(self, handler):
+        self._dispatcher.set_default(handler)

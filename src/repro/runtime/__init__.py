@@ -1,0 +1,15 @@
+"""Runtime interfaces: the sans-io boundary and the live asyncio transport."""
+
+from repro.runtime.base import Runtime
+from repro.runtime.dispatch import TypeDispatcher
+from repro.runtime.codec import decode, decode_bytes, encode, encode_bytes, register
+
+__all__ = [
+    "Runtime",
+    "TypeDispatcher",
+    "decode",
+    "decode_bytes",
+    "encode",
+    "encode_bytes",
+    "register",
+]

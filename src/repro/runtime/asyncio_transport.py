@@ -1,0 +1,166 @@
+"""Live runtime: Rapid over asyncio UDP sockets.
+
+:class:`AsyncioRuntime` implements the same :class:`~repro.runtime.base.Runtime`
+interface as the simulator's :class:`~repro.sim.process.SimRuntime`, so the
+protocol objects (:class:`~repro.core.membership.RapidNode`, the baselines,
+the example apps) run unmodified over real networks.
+
+One UDP socket per node, bound to the node's listen endpoint, is used for
+both sending and receiving, so a peer's datagram source address equals its
+listen address — the address book the protocol already uses.
+
+Example (see ``examples/real_cluster.py`` for a full script)::
+
+    runtime = AsyncioRuntime(Endpoint("127.0.0.1", 5001))
+    await runtime.start()
+    node = RapidNode(runtime, seeds=[Endpoint("127.0.0.1", 5001)])
+    node.start()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Optional
+
+from repro.core.node_id import Endpoint
+from repro.runtime.codec import CodecError, decode_bytes, encode_bytes
+
+__all__ = ["AsyncioRuntime", "run_local_cluster"]
+
+
+class _TimerHandle:
+    """Adapter so ``loop.call_later`` handles satisfy the Runtime protocol."""
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle: asyncio.TimerHandle):
+        self._handle = handle
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    def __init__(self, runtime: "AsyncioRuntime") -> None:
+        self.runtime = runtime
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.runtime._datagram_received(data, addr)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        pass  # UDP send errors (e.g. ICMP unreachable) are expected noise
+
+
+class AsyncioRuntime:
+    """Runtime backed by the asyncio event loop and a UDP socket."""
+
+    def __init__(self, addr: Endpoint, seed: Optional[int] = None) -> None:
+        self.addr = addr
+        self.rng = random.Random(seed)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._handler: Optional[Callable[[Endpoint, Any], None]] = None
+        self._closed = False
+        self.decode_errors = 0
+
+    async def start(self) -> None:
+        """Bind the UDP socket; must be called inside a running loop."""
+        self._loop = asyncio.get_running_loop()
+        self._transport, _ = await self._loop.create_datagram_endpoint(
+            lambda: _Protocol(self), local_addr=(self.addr.host, self.addr.port)
+        )
+
+    def close(self) -> None:
+        self._closed = True
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # ------------------------------------------------------- runtime protocol
+
+    def now(self) -> float:
+        loop = self._loop or asyncio.get_event_loop()
+        return loop.time()
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> _TimerHandle:
+        loop = self._loop or asyncio.get_event_loop()
+        return _TimerHandle(loop.call_later(delay, self._guarded, fn, args))
+
+    def send(self, dst: Endpoint, msg: Any) -> None:
+        if self._transport is None or self._closed:
+            return
+        try:
+            payload = encode_bytes(msg)
+        except CodecError:
+            raise
+        self._transport.sendto(payload, (dst.host, dst.port))
+
+    def attach(self, handler: Callable[[Endpoint, Any], None]) -> None:
+        self._handler = handler
+
+    # --------------------------------------------------------------- internal
+
+    def _guarded(self, fn: Callable[..., None], args: tuple) -> None:
+        if not self._closed:
+            fn(*args)
+
+    def _datagram_received(self, data: bytes, addr) -> None:
+        if self._handler is None or self._closed:
+            return
+        try:
+            msg = decode_bytes(data)
+        except CodecError:
+            self.decode_errors += 1
+            return
+        self._handler(Endpoint(host=addr[0], port=addr[1]), msg)
+
+
+async def run_local_cluster(
+    n: int,
+    base_port: int = 15000,
+    settings=None,
+    host: str = "127.0.0.1",
+    converge_timeout: float = 30.0,
+):
+    """Boot an ``n``-node Rapid cluster on localhost UDP ports.
+
+    Returns ``(nodes, runtimes)`` once every node reports ``n`` members, or
+    raises ``TimeoutError``.  Used by the live integration tests and the
+    ``real_cluster`` example.
+    """
+    from repro.core.events import NodeStatus
+    from repro.core.membership import RapidNode
+    from repro.core.settings import RapidSettings
+
+    settings = settings or RapidSettings(
+        probe_interval=0.2,
+        probe_timeout=0.2,
+        batching_window=0.05,
+        join_timeout=1.0,
+        consensus_fallback_timeout=2.0,
+        gossip_interval=0.05,
+    )
+    seed_ep = Endpoint(host, base_port)
+    runtimes = []
+    nodes = []
+    for i in range(n):
+        runtime = AsyncioRuntime(Endpoint(host, base_port + i), seed=i)
+        await runtime.start()
+        runtimes.append(runtime)
+        node = RapidNode(runtime, settings, seeds=(seed_ep,))
+        nodes.append(node)
+    nodes[0].start()
+    await asyncio.sleep(0.2)
+    for node in nodes[1:]:
+        node.start()
+    deadline = asyncio.get_running_loop().time() + converge_timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if all(
+            node.status == NodeStatus.ACTIVE and node.size == n for node in nodes
+        ):
+            return nodes, runtimes
+        await asyncio.sleep(0.1)
+    for runtime in runtimes:
+        runtime.close()
+    raise TimeoutError(f"cluster did not converge to {n} nodes")

@@ -1,0 +1,107 @@
+"""JSON wire codec for running Rapid over real sockets.
+
+The simulator passes message objects by reference; the live asyncio runtime
+serializes them.  Encoding is structural and recursive:
+
+* dataclasses become ``{"__dc__": <registered name>, "f": {...}}``;
+* :class:`~repro.core.node_id.Endpoint` becomes ``{"__ep__": "host:port"}``;
+* sequences become JSON arrays and decode back to tuples (protocol messages
+  use tuples exclusively, keeping them hashable).
+
+All message types in :mod:`repro.core.messages` are pre-registered; custom
+application messages can be added with :func:`register`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.core import messages as _messages
+from repro.core.node_id import Endpoint
+
+__all__ = ["register", "encode", "decode", "encode_bytes", "decode_bytes", "CodecError"]
+
+
+class CodecError(ValueError):
+    """Raised for unknown types or malformed payloads."""
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type, name: str | None = None) -> type:
+    """Register a dataclass for wire transport (idempotent)."""
+    if not dataclasses.is_dataclass(cls):
+        raise CodecError(f"{cls!r} is not a dataclass")
+    _REGISTRY[name or cls.__name__] = cls
+    return cls
+
+
+def _register_core_messages() -> None:
+    for attr in dir(_messages):
+        obj = getattr(_messages, attr)
+        if isinstance(obj, type) and dataclasses.is_dataclass(obj):
+            register(obj)
+
+
+_register_core_messages()
+
+
+def encode(value: Any) -> Any:
+    """Encode a value into JSON-compatible structures."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Endpoint):
+        return {"__ep__": str(value)}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _REGISTRY:
+            raise CodecError(f"unregistered message type: {name}")
+        return {
+            "__dc__": name,
+            "f": {
+                f.name: encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        return {"__map__": [[encode(k), encode(v)] for k, v in value.items()]}
+    raise CodecError(f"cannot encode {type(value).__name__}")
+
+
+def decode(value: Any) -> Any:
+    """Inverse of :func:`encode`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return tuple(decode(item) for item in value)
+    if isinstance(value, dict):
+        if "__ep__" in value:
+            return Endpoint.parse(value["__ep__"])
+        if "__map__" in value:
+            return {decode(k): decode(v) for k, v in value["__map__"]}
+        if "__dc__" in value:
+            cls = _REGISTRY.get(value["__dc__"])
+            if cls is None:
+                raise CodecError(f"unknown message type: {value['__dc__']}")
+            fields = {name: decode(v) for name, v in value.get("f", {}).items()}
+            # Ranks are tuples in the protocol; JSON round-trips them as
+            # tuples already via the list rule above.
+            return cls(**fields)
+        raise CodecError(f"malformed object: {sorted(value)}")
+    raise CodecError(f"cannot decode {type(value).__name__}")
+
+
+def encode_bytes(msg: Any) -> bytes:
+    return json.dumps(encode(msg), separators=(",", ":")).encode("utf-8")
+
+
+def decode_bytes(data: bytes) -> Any:
+    try:
+        return decode(json.loads(data.decode("utf-8")))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CodecError(f"malformed datagram: {exc}") from exc

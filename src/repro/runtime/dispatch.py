@@ -1,0 +1,60 @@
+"""Message demultiplexing for co-located protocol stacks.
+
+An application process often hosts both an application protocol and a
+membership agent on the same endpoint (exactly how the paper's transactional
+platform embeds Rapid).  A runtime accepts a single message handler, so
+:class:`TypeDispatcher` routes inbound messages to the right stack by
+message class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.node_id import Endpoint
+from repro.runtime.base import Runtime
+
+__all__ = ["TypeDispatcher"]
+
+Handler = Callable[[Endpoint, Any], None]
+
+
+class TypeDispatcher:
+    """Routes messages to handlers registered per message class.
+
+    The fallback handler (set via :meth:`set_default`) receives anything
+    unclaimed — conventionally the membership agent, whose message
+    vocabulary is larger.
+    """
+
+    def __init__(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        self._routes: dict[type, Handler] = {}
+        self._default: Handler | None = None
+        runtime.attach(self.dispatch)
+
+    def route(self, *message_types: type) -> Callable[[Handler], Handler]:
+        """Decorator form: ``@dispatcher.route(MsgA, MsgB)``."""
+
+        def register(handler: Handler) -> Handler:
+            self.add(handler, *message_types)
+            return handler
+
+        return register
+
+    def add(self, handler: Handler, *message_types: type) -> None:
+        for message_type in message_types:
+            if message_type in self._routes:
+                raise ValueError(f"duplicate route for {message_type.__name__}")
+            self._routes[message_type] = handler
+
+    def set_default(self, handler: Handler) -> None:
+        self._default = handler
+
+    def dispatch(self, src: Endpoint, msg: Any) -> None:
+        handler = self._routes.get(type(msg), self._default)
+        if handler is not None:
+            handler(src, msg)
+
+    def attach_to(self, runtime: Runtime) -> None:
+        runtime.attach(self.dispatch)

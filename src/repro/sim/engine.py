@@ -1,0 +1,142 @@
+"""Deterministic discrete-event engine.
+
+All protocol code in this repository is *sans-io*: it interacts with the
+world only through a :class:`~repro.runtime.base.Runtime`.  The simulated
+runtime is driven by this engine, a classic event-heap scheduler with a
+virtual clock.  Determinism matters: given the same seed, an experiment
+replays byte-for-byte, which is what makes the benchmark suite meaningful.
+
+Times are floats in (virtual) seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Engine", "EventHandle"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.schedule`; cancellable."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the event will fire."""
+        return self._event.time
+
+
+class Engine:
+    """A single-threaded discrete-event scheduler.
+
+    Events scheduled for the same instant fire in scheduling order (FIFO),
+    which keeps runs deterministic without relying on heap tie-breaking
+    accidents.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far (for diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` virtual seconds.
+
+        ``delay`` must be non-negative; zero-delay events run before time
+        advances, after currently queued same-time events.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., None], *args) -> EventHandle:
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        event = _Event(time=when, seq=next(self._seq), fn=fn, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the queue drains early, so periodic measurements can assume
+        the full window elapsed.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_for(self, duration: float) -> None:
+        """Run for ``duration`` virtual seconds from the current time."""
+        self.run(until=self._now + duration)

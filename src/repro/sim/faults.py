@@ -1,0 +1,178 @@
+"""Fault injection rules for the simulated network.
+
+The paper's evaluation (section 7) exercises membership services with faults
+that are *not* clean crashes: one-way connectivity loss implemented with
+iptables INPUT-chain drops, sustained high packet loss on a subset of
+processes, flip-flopping reachability, and packet blackholes between
+specific pairs.  Each scenario maps to a rule here.
+
+A rule is consulted by :class:`repro.sim.network.Network` for every message;
+any matching rule may drop the packet.  Rules carry an optional activity
+window ``[start, end)`` and may flip-flop with a period, which composes the
+"20 seconds on / 20 seconds off" scenario of Figure 9 directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.node_id import Endpoint
+
+__all__ = [
+    "FaultRule",
+    "IngressLoss",
+    "EgressLoss",
+    "PairLoss",
+    "Blackhole",
+    "Partition",
+    "AmbientLoss",
+]
+
+
+@dataclass
+class FaultRule:
+    """Base class: a window-scoped, optionally flip-flopping drop rule.
+
+    ``start``/``end`` bound when the rule can be active.  If ``period_on``
+    and ``period_off`` are set, the rule alternates: active for
+    ``period_on`` seconds, inactive for ``period_off``, starting at
+    ``start``.  Subclasses override :meth:`matches`.
+    """
+
+    start: float = 0.0
+    end: float = math.inf
+    period_on: Optional[float] = None
+    period_off: Optional[float] = None
+
+    def active(self, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        if self.period_on is None:
+            return True
+        cycle = self.period_on + (self.period_off or 0.0)
+        phase = (now - self.start) % cycle
+        return phase < self.period_on
+
+    def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        raise NotImplementedError
+
+    def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        raise NotImplementedError
+
+    def should_drop(
+        self, src: Endpoint, dst: Endpoint, now: float, rng: random.Random
+    ) -> bool:
+        """True when this rule decides to drop the packet."""
+        if not self.active(now) or not self.matches(src, dst):
+            return False
+        p = self.drop_probability(src, dst)
+        if p >= 1.0:
+            return True
+        if p <= 0.0:
+            return False
+        return rng.random() < p
+
+
+@dataclass
+class IngressLoss(FaultRule):
+    """Drop packets *arriving at* the given nodes (iptables INPUT style).
+
+    The afflicted node can still transmit — exactly the asymmetry of the
+    paper's Figure 9 experiment, where ZooKeeper clients keep their sessions
+    alive by sending heartbeats they can never hear answers to.
+    """
+
+    nodes: frozenset[Endpoint] = field(default_factory=frozenset)
+    probability: float = 1.0
+
+    def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        return dst in self.nodes
+
+    def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        return self.probability
+
+
+@dataclass
+class EgressLoss(FaultRule):
+    """Drop packets *leaving* the given nodes (iptables OUTPUT style)."""
+
+    nodes: frozenset[Endpoint] = field(default_factory=frozenset)
+    probability: float = 1.0
+
+    def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        return src in self.nodes
+
+    def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        return self.probability
+
+
+@dataclass
+class PairLoss(FaultRule):
+    """Lossy link between two specific endpoints, optionally one-way."""
+
+    a: Endpoint = Endpoint("unset")
+    b: Endpoint = Endpoint("unset")
+    probability: float = 1.0
+    bidirectional: bool = True
+
+    def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        if src == self.a and dst == self.b:
+            return True
+        return self.bidirectional and src == self.b and dst == self.a
+
+    def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        return self.probability
+
+
+def Blackhole(a: Endpoint, b: Endpoint, **kwargs) -> PairLoss:
+    """A packet blackhole between ``a`` and ``b`` (drops everything).
+
+    This mirrors the fault injected in the paper's transactional-platform
+    experiment (Figure 12), modeled after the blackholes observed by
+    Pingmesh [Guo et al., SIGCOMM'15].
+    """
+    return PairLoss(a=a, b=b, probability=1.0, bidirectional=True, **kwargs)
+
+
+@dataclass
+class Partition(FaultRule):
+    """Drop traffic between two groups of nodes.
+
+    With ``one_way=True`` only ``group_a -> group_b`` traffic is dropped,
+    producing an asymmetric partition.
+    """
+
+    group_a: frozenset[Endpoint] = field(default_factory=frozenset)
+    group_b: frozenset[Endpoint] = field(default_factory=frozenset)
+    one_way: bool = False
+
+    def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        if src in self.group_a and dst in self.group_b:
+            return True
+        if not self.one_way and src in self.group_b and dst in self.group_a:
+            return True
+        return False
+
+    def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        return 1.0
+
+
+@dataclass
+class AmbientLoss(FaultRule):
+    """Uniform background packet loss on every link."""
+
+    probability: float = 0.0
+
+    def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        return True
+
+    def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        return self.probability
+
+
+def endpoints(nodes: Iterable[Endpoint]) -> frozenset[Endpoint]:
+    """Convenience: freeze an iterable of endpoints for rule construction."""
+    return frozenset(nodes)

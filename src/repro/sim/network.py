@@ -1,0 +1,206 @@
+"""Simulated datagram network with fault injection and byte accounting.
+
+The network delivers messages between registered endpoints with a sampled
+one-way latency, subject to the fault rules installed (see
+:mod:`repro.sim.faults`).  Every send/receive is accounted in per-second
+buckets per endpoint, which is how the Table 2 bandwidth reproduction
+measures mean/p99/max KB/s per process.
+
+Semantics are datagram-like (no connections, no delivery guarantee, no
+ordering guarantee across messages — latency sampling can reorder), matching
+the UDP paths Rapid uses for alert gossip and consensus vote counting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools as _functools
+from collections import defaultdict
+from typing import Any, Callable, Optional
+
+from repro.core.node_id import Endpoint
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultRule
+from repro.sim.rng import child_rng
+from repro.sim.latency import LanLatency, LatencyModel
+
+__all__ = ["Network", "wire_size", "BandwidthStats"]
+
+_HEADER_BYTES = 28  # IP + UDP header estimate applied to every message.
+
+
+@_functools.lru_cache(maxsize=8192)
+def wire_size(msg: Any) -> int:
+    """Estimate the serialized size of a message in bytes.
+
+    A rough structural estimate is enough: the evaluation compares the
+    *relative* bandwidth of protocols, and all protocols are sized by the
+    same rule.  Dataclasses are walked recursively; strings count their
+    length; numbers count 8 bytes.
+
+    Messages are frozen dataclasses, so sizes are memoized — broadcasts
+    size the same object once instead of once per recipient.
+    """
+    return _HEADER_BYTES + _payload_size(msg)
+
+
+def _payload_size(value: Any) -> int:
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return 2 + len(value)
+    if isinstance(value, bytes):
+        return 2 + len(value)
+    if isinstance(value, Endpoint):
+        return 4 + len(value.host)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        total = 2
+        for f in dataclasses.fields(value):
+            total += _payload_size(getattr(value, f.name))
+        return total
+    if isinstance(value, dict):
+        return 2 + sum(_payload_size(k) + _payload_size(v) for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 2 + sum(_payload_size(item) for item in value)
+    return 8
+
+
+@dataclasses.dataclass
+class BandwidthStats:
+    """Per-endpoint traffic summary over an experiment."""
+
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+    rx_messages: int = 0
+    tx_messages: int = 0
+
+
+class Network:
+    """Message fabric connecting simulated processes.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine driving delivery.
+    seed:
+        Root seed; latency and loss decisions derive child generators.
+    latency:
+        One-way delay model (defaults to :class:`LanLatency`).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.engine = engine
+        self.latency = latency or LanLatency()
+        self._handlers: dict[Endpoint, Callable[[Endpoint, Any], None]] = {}
+        self._crashed: set[Endpoint] = set()
+        self._rules: list[FaultRule] = []
+        self._latency_rng = child_rng(seed, "network", "latency")
+        self._loss_rng = child_rng(seed, "network", "loss")
+        self.stats: dict[Endpoint, BandwidthStats] = defaultdict(BandwidthStats)
+        # Per-second buckets: {endpoint: {second: [tx_bytes, rx_bytes]}}
+        self.buckets: dict[Endpoint, dict[int, list[int]]] = defaultdict(
+            lambda: defaultdict(lambda: [0, 0])
+        )
+        self.dropped_messages = 0
+        self.delivered_messages = 0
+
+    # ------------------------------------------------------------------ setup
+
+    def register(
+        self, addr: Endpoint, handler: Callable[[Endpoint, Any], None]
+    ) -> None:
+        """Attach a message handler for ``addr`` (its "socket")."""
+        self._handlers[addr] = handler
+        self._crashed.discard(addr)
+
+    def deregister(self, addr: Endpoint) -> None:
+        """Detach ``addr``; in-flight messages to it are dropped on arrival."""
+        self._handlers.pop(addr, None)
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        """Install a fault rule; returns it so callers can remove it later."""
+        self._rules.append(rule)
+        return rule
+
+    def remove_rule(self, rule: FaultRule) -> None:
+        self._rules.remove(rule)
+
+    def clear_rules(self) -> None:
+        self._rules.clear()
+
+    # ----------------------------------------------------------------- faults
+
+    def crash(self, addr: Endpoint) -> None:
+        """Fail-stop ``addr``: it neither sends nor receives from now on."""
+        self._crashed.add(addr)
+
+    def recover(self, addr: Endpoint) -> None:
+        """Undo a crash (the process resumes with whatever state it had)."""
+        self._crashed.discard(addr)
+
+    def is_crashed(self, addr: Endpoint) -> bool:
+        return addr in self._crashed
+
+    # -------------------------------------------------------------- messaging
+
+    def send(self, src: Endpoint, dst: Endpoint, msg: Any) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` with loss/latency applied."""
+        if src in self._crashed:
+            return
+        size = wire_size(msg)
+        now = self.engine.now
+        self._account(src, now, tx=size)
+        if dst in self._crashed:
+            self.dropped_messages += 1
+            return
+        for rule in self._rules:
+            if rule.should_drop(src, dst, now, self._loss_rng):
+                self.dropped_messages += 1
+                return
+        delay = self.latency.sample(self._latency_rng, size)
+        self.engine.schedule(delay, self._deliver, src, dst, msg, size)
+
+    def _deliver(self, src: Endpoint, dst: Endpoint, msg: Any, size: int) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None or dst in self._crashed:
+            self.dropped_messages += 1
+            return
+        self._account(dst, self.engine.now, rx=size)
+        self.delivered_messages += 1
+        handler(src, msg)
+
+    def _account(self, addr: Endpoint, now: float, tx: int = 0, rx: int = 0) -> None:
+        stats = self.stats[addr]
+        bucket = self.buckets[addr][int(now)]
+        if tx:
+            stats.tx_bytes += tx
+            stats.tx_messages += 1
+            bucket[0] += tx
+        if rx:
+            stats.rx_bytes += rx
+            stats.rx_messages += 1
+            bucket[1] += rx
+
+    # -------------------------------------------------------------- reporting
+
+    def per_second_rates(
+        self, addr: Endpoint, start: float = 0.0, end: Optional[float] = None
+    ) -> tuple[list[float], list[float]]:
+        """Return (tx KB/s, rx KB/s) samples for each second in the window.
+
+        Seconds with no traffic contribute zero samples, matching how the
+        paper reports utilization "per second across processes".
+        """
+        stop = int(end if end is not None else self.engine.now)
+        begin = int(start)
+        buckets = self.buckets.get(addr, {})
+        tx = [buckets.get(s, (0, 0))[0] / 1024.0 for s in range(begin, stop)]
+        rx = [buckets.get(s, (0, 0))[1] / 1024.0 for s in range(begin, stop)]
+        return tx, rx

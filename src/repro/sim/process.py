@@ -1,0 +1,88 @@
+"""Simulated runtime: binds protocol nodes to the engine and network.
+
+:class:`SimRuntime` implements the :class:`repro.runtime.base.Runtime`
+interface on top of the discrete-event engine.  One runtime is created per
+simulated process; crashing the runtime silences its timers and traffic,
+giving clean fail-stop semantics without tearing down protocol state (useful
+when a test wants to inspect the state of a "dead" node).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.core.node_id import Endpoint
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.network import Network
+from repro.sim.rng import child_rng
+
+__all__ = ["SimRuntime"]
+
+
+class SimRuntime:
+    """Per-process runtime inside the simulator.
+
+    The runtime must be given a message handler via :meth:`attach` before
+    messages arrive; :class:`~repro.sim.cluster` harnesses do this when they
+    construct protocol nodes.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: Network,
+        addr: Endpoint,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.addr = addr
+        self.rng = rng if rng is not None else child_rng(seed, "process", str(addr))
+        self._crashed = False
+        self._handler: Optional[Callable[[Endpoint, Any], None]] = None
+        network.register(addr, self._dispatch)
+
+    # ------------------------------------------------------- runtime protocol
+
+    def now(self) -> float:
+        return self.engine.now
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> EventHandle:
+        return self.engine.schedule(delay, self._guarded, fn, args)
+
+    def send(self, dst: Endpoint, msg: Any) -> None:
+        if not self._crashed:
+            self.network.send(self.addr, dst, msg)
+
+    # ----------------------------------------------------------------- wiring
+
+    def attach(self, handler: Callable[[Endpoint, Any], None]) -> None:
+        """Set the function invoked for every inbound message."""
+        self._handler = handler
+
+    def crash(self) -> None:
+        """Fail-stop this process: timers stop firing, traffic stops."""
+        self._crashed = True
+        self.network.crash(self.addr)
+
+    def recover(self) -> None:
+        """Bring the process back (state intact; pending timers resume)."""
+        self._crashed = False
+        self.network.recover(self.addr)
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # --------------------------------------------------------------- internal
+
+    def _guarded(self, fn: Callable[..., None], args: tuple) -> None:
+        if not self._crashed:
+            fn(*args)
+
+    def _dispatch(self, src: Endpoint, msg: Any) -> None:
+        if self._crashed or self._handler is None:
+            return
+        self._handler(src, msg)

@@ -1,0 +1,158 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_event_fires_at_scheduled_time(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [5.0]
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, order.append, "c")
+        engine.schedule(1.0, order.append, "a")
+        engine.schedule(2.0, order.append, "b")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = Engine()
+        order = []
+        for tag in "abcde":
+            engine.schedule(1.0, order.append, tag)
+        engine.run()
+        assert order == list("abcde")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_args_passed_through(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(0.0, lambda a, b: seen.append((a, b)), 1, 2)
+        engine.run()
+        assert seen == [(1, 2)]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        times = []
+
+        def outer():
+            times.append(engine.now)
+            engine.schedule(2.0, inner)
+
+        def inner():
+            times.append(engine.now)
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert times == [1.0, 3.0]
+
+    def test_zero_delay_runs_at_current_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: engine.schedule(0.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [1.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "x")
+        engine.run()
+        handle.cancel()
+        assert fired == ["x"]
+
+    def test_handle_exposes_time(self):
+        engine = Engine()
+        handle = engine.schedule(2.5, lambda: None)
+        assert handle.time == 2.5
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(10.0, fired.append, "b")
+        engine.run(until=5.0)
+        assert fired == ["a"]
+        assert engine.now == 5.0
+
+    def test_run_until_advances_clock_when_idle(self):
+        engine = Engine()
+        engine.run(until=42.0)
+        assert engine.now == 42.0
+
+    def test_run_for_is_relative(self):
+        engine = Engine()
+        engine.run(until=10.0)
+        engine.run_for(5.0)
+        assert engine.now == 15.0
+
+    def test_remaining_events_fire_on_next_run(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, fired.append, "b")
+        engine.run(until=5.0)
+        engine.run()
+        assert fired == ["b"]
+
+    def test_max_events_bounds_execution(self):
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.schedule(float(i), fired.append, i)
+        engine.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_idle(self):
+        assert Engine().step() is False
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for i in range(4):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert engine.events_processed == 4
+
+    def test_pending_counts_queued(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending == 2
