@@ -1,8 +1,8 @@
 """Rendering helpers: ASCII tables and series matching the paper's layout.
 
-Benchmarks print their reproduced rows through these functions so that
-``pytest benchmarks/ --benchmark-only`` output can be compared side by side
-with the paper's tables and figures.
+Benchmarks print their reproduced rows through these functions so that the
+``python -m repro.bench`` summary output can be compared side by side with
+the paper's tables and figures.
 """
 
 from __future__ import annotations

@@ -1,0 +1,22 @@
+"""Declarative benchmark runner producing BENCH_*.json reports.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench --suite quick --out BENCH_quick.json
+
+See :mod:`repro.bench.specs` for the suite definitions and
+:mod:`repro.bench.runner` for the measurement capture and JSON schema.
+"""
+
+from repro.bench.runner import BenchRunner, CaseResult, build_report, write_report
+from repro.bench.specs import SUITES, BenchSpec, suite_specs
+
+__all__ = [
+    "BenchRunner",
+    "BenchSpec",
+    "CaseResult",
+    "SUITES",
+    "build_report",
+    "suite_specs",
+    "write_report",
+]

@@ -1,0 +1,86 @@
+"""Benchmark CLI: ``python -m repro.bench --suite quick --out BENCH_quick.json``.
+
+Runs a declared suite (see :mod:`repro.bench.specs`), prints the
+paper-shaped ASCII summary, and writes the ``repro.bench/v1`` JSON
+report.  The report's virtual-time fields are deterministic given the
+suite and seeds; only ``wall_s`` varies across machines and runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.runner import BenchRunner, build_report, render_report, write_report
+from repro.bench.specs import SUITES, suite_specs
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the reproduction's benchmark suites.",
+    )
+    parser.add_argument(
+        "--suite",
+        default="quick",
+        choices=sorted(SUITES),
+        help="which suite to run (default: quick)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply every case's cluster size by this factor",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output JSON path (default: BENCH_<suite>.json)",
+    )
+    parser.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTR",
+        help="only run cases whose name contains this substring",
+    )
+    parser.add_argument(
+        "--per-node",
+        action="store_true",
+        help="keep per-node metrics (node.<ep>.*) in case snapshots",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the selected cases and exit"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    args = parser.parse_args(argv)
+
+    specs = suite_specs(args.suite, scale=args.scale)
+    if args.filter:
+        specs = [spec for spec in specs if args.filter in spec.name]
+    if not specs:
+        print("no cases selected", file=sys.stderr)
+        return 2
+    if args.list:
+        for spec in specs:
+            print(spec.name)
+        return 0
+
+    runner = BenchRunner(
+        include_per_node=args.per_node, log=None if args.quiet else print
+    )
+    cases = runner.run(specs)
+    print(render_report(cases))
+    report = build_report(args.suite, args.scale, cases)
+    out = write_report(report, args.out or f"BENCH_{args.suite}.json")
+    print(f"wrote {len(cases)} cases to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

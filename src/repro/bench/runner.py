@@ -1,0 +1,294 @@
+"""Benchmark execution, measurement capture, and BENCH_*.json output.
+
+:class:`BenchRunner` executes :class:`~repro.bench.specs.BenchSpec` cases
+through the experiment scenario functions, timing each with the wall
+clock and harvesting the deterministic measurement substrate afterwards:
+virtual duration, events processed, the network's ``net.*`` counters, and
+the full metrics snapshot of the harness registry.
+
+The report schema (``repro.bench/v1``)::
+
+    {
+      "schema": "repro.bench/v1",
+      "suite": "quick",
+      "scale": 1.0,
+      "config": {"python": ..., "platform": ..., "git": ...},
+      "cases": [
+        {
+          "name": "bootstrap/rapid/n16/s1",
+          "scenario": ..., "system": ..., "n": ..., "seed": ..., "params": {...},
+          "wall_s": 0.13,                  # nondeterministic (machine-local)
+          "engine_wall_s": 0.11,           # wall time inside the event loop
+          "virtual_s": 15.0,               # deterministic given the seed
+          "events_processed": 5921,        # deterministic
+          "events_per_wall_s": 45547.3,
+          "events_per_virtual_s": 394.7,
+          "messages": {"sent": ..., "delivered": ..., "dropped": ...,
+                        "bytes_sent": ..., "bytes_received": ...},
+          "metrics": {<registry snapshot: counters, gauges,
+                       histogram quantile summaries>},
+          "result": {<scenario scalars: convergence_time, ...>}
+        }, ...
+      ]
+    }
+
+Everything except ``wall_s`` / ``engine_wall_s`` / ``events_per_wall_s``
+is derived from virtual time and counters, so two same-seed runs produce
+identical values — the property the regression tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.bench.specs import BenchSpec
+from repro.experiments import scenarios
+
+__all__ = ["BenchRunner", "CaseResult", "write_report", "render_report"]
+
+SCHEMA = "repro.bench/v1"
+
+# Result keys that are either unserializable or too bulky for BENCH files.
+_RESULT_EXCLUDE = {"harness", "timeseries", "per_node_times"}
+
+
+@dataclass
+class CaseResult:
+    """Measurements for one executed benchmark case.
+
+    ``wall_s`` covers the whole case (harness construction included);
+    ``engine_wall_s`` is the time spent inside the event loop proper and
+    is the denominator for ``events_per_wall_s`` — the number to regress
+    when optimizing the simulator's hot paths.
+    """
+
+    spec: BenchSpec
+    wall_s: float
+    engine_wall_s: float
+    virtual_s: float
+    events_processed: int
+    messages: dict
+    metrics: dict
+    result: dict
+
+    @property
+    def events_per_wall_s(self) -> float:
+        denominator = self.engine_wall_s or self.wall_s
+        return self.events_processed / denominator if denominator > 0 else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "scenario": self.spec.scenario,
+            "system": self.spec.system,
+            "n": self.spec.n,
+            "seed": self.spec.seed,
+            "params": dict(self.spec.params),
+            "wall_s": self.wall_s,
+            "engine_wall_s": self.engine_wall_s,
+            "virtual_s": self.virtual_s,
+            "events_processed": self.events_processed,
+            "events_per_wall_s": self.events_per_wall_s,
+            "events_per_virtual_s": (
+                self.events_processed / self.virtual_s if self.virtual_s > 0 else 0.0
+            ),
+            "messages": self.messages,
+            "metrics": self.metrics,
+            "result": self.result,
+        }
+
+
+class BenchRunner:
+    """Executes benchmark specs and assembles the report.
+
+    Parameters
+    ----------
+    include_per_node:
+        Whether ``node.<ep>.*`` metrics are kept in case snapshots
+        (dropped by default: they grow linearly with cluster size).
+    log:
+        Progress sink (``None`` silences it).
+    """
+
+    def __init__(
+        self,
+        include_per_node: bool = False,
+        log: Optional[Callable[[str], None]] = print,
+    ) -> None:
+        self.include_per_node = include_per_node
+        self._log = log or (lambda message: None)
+
+    # -------------------------------------------------------------- execution
+
+    def run_case(self, spec: BenchSpec) -> CaseResult:
+        """Execute one spec and harvest its measurements."""
+        started = time.perf_counter()
+        outcome = self._execute(spec)
+        wall_s = time.perf_counter() - started
+        harness = outcome["harness"]
+        engine = harness.engine
+        network = harness.network
+        snapshot = harness.metrics.snapshot()
+        if not self.include_per_node:
+            snapshot = {
+                k: v for k, v in snapshot.items() if not k.startswith("node.")
+            }
+        return CaseResult(
+            spec=spec,
+            wall_s=wall_s,
+            engine_wall_s=engine.wall_time_s,
+            virtual_s=engine.now,
+            events_processed=engine.events_processed,
+            messages={
+                "sent": network.sent_messages,
+                "delivered": network.delivered_messages,
+                "dropped": network.dropped_messages,
+                "bytes_sent": network.sent_bytes,
+                "bytes_received": network.received_bytes,
+            },
+            metrics=snapshot,
+            result=_scalars(outcome),
+        )
+
+    def run(self, specs: Iterable[BenchSpec]) -> list:
+        results = []
+        for spec in specs:
+            self._log(f"running {spec.name} ...")
+            case = self.run_case(spec)
+            self._log(
+                f"  {case.wall_s:.2f}s wall, {case.virtual_s:.0f}s virtual, "
+                f"{case.events_processed} events"
+            )
+            results.append(case)
+        return results
+
+    def _execute(self, spec: BenchSpec) -> dict:
+        kwargs = dict(spec.params)
+        if spec.scenario == "bootstrap":
+            return scenarios.bootstrap_experiment(
+                spec.system, spec.n, seed=spec.seed, **kwargs
+            )
+        if spec.scenario == "crash":
+            return scenarios.crash_experiment(
+                spec.system, spec.n, seed=spec.seed, **kwargs
+            )
+        if spec.scenario == "packet_loss":
+            return scenarios.packet_loss_experiment(
+                spec.system, spec.n, seed=spec.seed, **kwargs
+            )
+        raise ValueError(f"unknown scenario {spec.scenario!r}")
+
+
+# ------------------------------------------------------------------ reporting
+
+
+def build_report(suite: str, scale: float, cases: Sequence[CaseResult]) -> dict:
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "scale": scale,
+        "config": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "git": _git_describe(),
+        },
+        "cases": [case.to_json() for case in cases],
+    }
+
+
+def write_report(report: dict, path: str) -> Path:
+    """Serialize a report to ``path`` (e.g. ``BENCH_quick.json``)."""
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def render_report(cases: Sequence[CaseResult]) -> str:
+    """The paper-shaped ASCII summary of a benchmark run."""
+    rows = []
+    for case in cases:
+        msgs = case.messages
+        rows.append(
+            [
+                case.spec.name,
+                f"{case.wall_s:.2f}",
+                f"{case.virtual_s:.0f}",
+                case.events_processed,
+                f"{case.events_per_wall_s:.0f}",
+                msgs["sent"],
+                msgs["dropped"],
+                f"{msgs['bytes_sent'] / 1024.0:.0f}",
+                _headline(case),
+            ]
+        )
+    return render_table(
+        [
+            "case",
+            "wall_s",
+            "virt_s",
+            "events",
+            "ev/wall_s",
+            "msgs",
+            "dropped",
+            "KB tx",
+            "outcome",
+        ],
+        rows,
+        title="benchmark summary",
+    )
+
+
+def _headline(case: CaseResult) -> str:
+    result = case.result
+    if case.spec.scenario == "bootstrap":
+        t = result.get("convergence_time")
+        return f"converged@{t:.1f}s" if t is not None else "no convergence"
+    if case.spec.scenario == "crash":
+        t = result.get("removal_time")
+        return f"removed@{t:.1f}s" if t is not None else "not removed"
+    if case.spec.scenario == "packet_loss":
+        return (
+            f"stability={result.get('stability_score')}"
+            f" removed={result.get('removed_faulty')}"
+        )
+    return ""
+
+
+def _scalars(outcome: dict) -> dict:
+    """Scenario results filtered down to JSON-friendly scalar facts."""
+    kept: dict = {}
+    for key, value in outcome.items():
+        if key in _RESULT_EXCLUDE:
+            continue
+        if isinstance(value, (int, float, bool, str)) or value is None:
+            kept[key] = value
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            items = sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+            if len(items) <= 16 and all(
+                isinstance(item, (int, float, bool, str)) for item in items
+            ):
+                kept[key] = items
+    return kept
+
+
+def _git_describe() -> Optional[str]:
+    try:
+        return (
+            subprocess.run(
+                ["git", "describe", "--always", "--dirty"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None

@@ -1,0 +1,141 @@
+"""Declarative benchmark specifications.
+
+A :class:`BenchSpec` names one measured run: scenario × system × cluster
+size × seed × fault profile.  Suites are functions from a scale factor to
+a list of specs, so ``--scale 4`` grows every cluster without editing the
+suite definitions.
+
+The ``quick`` suite is the regression gate: it must stay cheap enough to
+run in CI on every change.  The ``full`` suite approaches the paper's
+operating points and is meant for dedicated benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+__all__ = ["BenchSpec", "SUITES", "suite_specs"]
+
+SCENARIOS = ("bootstrap", "crash", "packet_loss")
+
+
+@dataclass
+class BenchSpec:
+    """One benchmark case.
+
+    Parameters
+    ----------
+    scenario:
+        One of ``bootstrap``, ``crash``, ``packet_loss`` — dispatched to
+        the matching :mod:`repro.experiments.scenarios` function.
+    system:
+        Harness name from :data:`repro.experiments.harness.SYSTEMS`.
+    n:
+        Cluster size (scaled by the suite's ``--scale`` factor).
+    seed:
+        Root seed; every random stream of the run derives from it.
+    params:
+        Extra keyword arguments for the scenario function (fault profile:
+        failure counts, loss rates, directions, observation windows).
+    """
+
+    scenario: str
+    system: str
+    n: int
+    seed: int = 0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; choose from {SCENARIOS}"
+            )
+
+    @property
+    def name(self) -> str:
+        tags = "".join(
+            f"/{k}={v}" for k, v in sorted(self.params.items()) if not k.endswith("timeout")
+        )
+        return f"{self.scenario}/{self.system}/n{self.n}/s{self.seed}{tags}"
+
+    def scaled(self, factor: float) -> "BenchSpec":
+        """Scale the cluster size (and cap fault counts to stay sensible)."""
+        if factor == 1.0:
+            return self
+        n = max(4, int(round(self.n * factor)))
+        params = dict(self.params)
+        if "failures" in params:
+            params["failures"] = max(1, min(params["failures"], n // 4))
+        return replace(self, n=n, params=params)
+
+
+def quick_suite() -> list:
+    """CI-sized regression suite: every scenario, seconds of wall time."""
+    return [
+        BenchSpec("bootstrap", "rapid", 16, seed=1),
+        BenchSpec("bootstrap", "rapid-c", 16, seed=1),
+        BenchSpec("bootstrap", "memberlist", 16, seed=1),
+        BenchSpec("crash", "rapid", 16, seed=1, params={"failures": 3}),
+        BenchSpec("crash", "memberlist", 16, seed=1, params={"failures": 3}),
+        BenchSpec(
+            "packet_loss",
+            "rapid",
+            16,
+            seed=1,
+            params={"loss": 0.8, "direction": "egress", "observe_for": 60.0},
+        ),
+    ]
+
+
+def full_suite() -> list:
+    """Paper-shaped suite: larger clusters, more systems, repeated seeds."""
+    specs: list = []
+    for seed in (1, 2, 3):
+        specs.append(BenchSpec("bootstrap", "rapid", 32, seed=seed))
+    specs += [
+        BenchSpec("bootstrap", "rapid", 64, seed=1),
+        BenchSpec("bootstrap", "rapid-c", 32, seed=1),
+        BenchSpec("bootstrap", "memberlist", 32, seed=1),
+        BenchSpec("bootstrap", "zookeeper", 32, seed=1),
+        BenchSpec("bootstrap", "akka", 32, seed=1),
+        BenchSpec("crash", "rapid", 32, seed=1, params={"failures": 8}),
+        BenchSpec("crash", "memberlist", 32, seed=1, params={"failures": 8}),
+        BenchSpec(
+            "packet_loss",
+            "rapid",
+            32,
+            seed=1,
+            params={"loss": 0.8, "direction": "egress"},
+        ),
+        BenchSpec(
+            "packet_loss",
+            "rapid",
+            32,
+            seed=1,
+            params={"loss": 0.8, "direction": "ingress"},
+        ),
+        BenchSpec(
+            "packet_loss",
+            "memberlist",
+            32,
+            seed=1,
+            params={"loss": 0.8, "direction": "egress"},
+        ),
+    ]
+    return specs
+
+
+SUITES: dict[str, Callable[[], list]] = {
+    "quick": quick_suite,
+    "full": full_suite,
+}
+
+
+def suite_specs(suite: str, scale: float = 1.0) -> list:
+    """Resolve a suite name to its (scaled) spec list."""
+    try:
+        factory = SUITES[suite]
+    except KeyError:
+        raise ValueError(f"unknown suite {suite!r}; choose from {sorted(SUITES)}")
+    return [spec.scaled(scale) for spec in factory()]

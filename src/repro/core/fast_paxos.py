@@ -36,6 +36,7 @@ from repro.core.messages import (
 from repro.core.node_id import Endpoint
 from repro.core.paxos import PaxosInstance, fast_quorum_size
 from repro.core.settings import RapidSettings
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.runtime.base import Runtime
 
 __all__ = ["FastPaxos"]
@@ -56,6 +57,9 @@ class FastPaxos:
         Cluster-wide dissemination callable (alert broadcaster is reused).
     on_decide:
         Invoked exactly once with the decided proposal.
+    metrics:
+        Registry receiving ``consensus.*`` counters and the decision
+        latency histogram (virtual time; disabled by default).
     """
 
     def __init__(
@@ -66,8 +70,11 @@ class FastPaxos:
         settings: RapidSettings,
         broadcast: Callable[[object], None],
         on_decide: Callable[[Proposal], None],
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.runtime = runtime
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._voted_at: Optional[float] = None
         self.members = tuple(members)
         self.n = len(self.members)
         self.config_id = config_id
@@ -110,6 +117,8 @@ class FastPaxos:
         if self.runtime.addr not in self._index:
             return  # joiners do not vote
         self.my_vote = proposal
+        self._voted_at = self.runtime.now()
+        self.metrics.counter("consensus.votes_cast").inc()
         self.paxos.register_fast_round_vote(proposal)
         self._merge(proposal, 1 << self._index[self.runtime.addr])
         self._send_aggregate()
@@ -170,6 +179,7 @@ class FastPaxos:
             return
         self.used_fallback = True
         self._fallback_attempts += 1
+        self.metrics.counter("consensus.fallback_rounds").inc()
         if not self.paxos.my_proposal:
             fallback_value = self._most_endorsed()
             if fallback_value is None:
@@ -235,6 +245,13 @@ class FastPaxos:
             return
         self.decided = True
         self.decision = value
+        if self.metrics.enabled:
+            path = "fallback" if self.used_fallback else "fast_path"
+            self.metrics.counter(f"consensus.decisions_{path}").inc()
+            if self._voted_at is not None:
+                self.metrics.histogram("consensus.decision_latency_s").observe(
+                    self.runtime.now() - self._voted_at
+                )
         self.cancel_timers()
         self._on_decide(value)
 

@@ -60,6 +60,7 @@ from repro.core.ring import KRingTopology
 from repro.core.settings import BroadcastMode, RapidSettings
 from repro.detectors.base import DetectorFactory
 from repro.detectors.ping_timeout import PingTimeoutDetector
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.runtime.base import Runtime
 
 __all__ = ["RapidNode"]
@@ -89,6 +90,10 @@ class RapidNode:
         Application-supplied role metadata, e.g. ``{"role": "backend"}``.
     view_trace / event_log:
         Optional experiment hooks (see :mod:`repro.sim.trace`).
+    metrics:
+        Registry receiving ``cluster.*`` aggregates, per-node
+        ``node.<ep>.*`` counters, and the consensus instruments (shared
+        across every node of a harness; disabled by default).
     """
 
     def __init__(
@@ -101,9 +106,24 @@ class RapidNode:
         metadata: Optional[dict] = None,
         view_trace=None,
         event_log=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.runtime = runtime
         self.addr = runtime.addr
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._cluster_metrics = self.metrics.scope("cluster")
+        self._node_metrics = self.metrics.scope("node", runtime.addr)
+        # Hot-path instruments are resolved once; with a disabled registry
+        # these are shared no-op singletons.
+        self._m_probes_sent = self._cluster_metrics.counter("probes_sent")
+        self._m_alerts_enqueued = self._cluster_metrics.counter("alerts_enqueued")
+        self._m_alerts_received = self._cluster_metrics.counter("alerts_received")
+        self._m_view_changes = self._cluster_metrics.counter("view_changes")
+        self._m_cut_latency = self._cluster_metrics.histogram(
+            "cut_detection_latency_s"
+        )
+        self._m_node_alerts = self._node_metrics.counter("alerts_sent")
+        self._m_node_views = self._node_metrics.counter("view_changes")
         self.settings = settings or RapidSettings()
         self.seeds = tuple(seeds)
         self.node_id = NodeId.fresh(self.addr)
@@ -278,6 +298,7 @@ class RapidNode:
                 self._probe_seq += 1
                 seq = self._probe_seq
                 self._pending_probes[(subject, seq)] = now
+                self._m_probes_sent.inc()
                 self.runtime.send(
                     subject,
                     Probe(sender=self.addr, config_id=self.config.config_id, seq=seq),
@@ -380,6 +401,8 @@ class RapidNode:
 
     def _enqueue_alert(self, alert: Alert) -> None:
         """Buffer an alert; the batch flushes after the batching window."""
+        self._m_alerts_enqueued.inc()
+        self._m_node_alerts.inc()
         self._alert_batch.append(alert)
         if self._batch_timer is None:
             self._batch_timer = self.runtime.schedule(
@@ -400,6 +423,7 @@ class RapidNode:
             return
         if alert.config_id != self.config.config_id:
             return
+        self._m_alerts_received.inc()
         in_view = alert.subject in self.config
         if alert.kind == AlertKind.REMOVE and not in_view:
             return
@@ -408,8 +432,19 @@ class RapidNode:
                 return
             if alert.metadata:
                 self._joiner_metadata[alert.subject] = alert.metadata
-        proposal = self.cut_detector.receive_alert(alert, self.runtime.now())
+        now = self.runtime.now()
+        proposal = self.cut_detector.receive_alert(alert, now)
         if proposal:
+            if self.metrics.enabled:
+                firsts = [
+                    t
+                    for t in (
+                        self.cut_detector.first_seen(c.endpoint) for c in proposal
+                    )
+                    if t is not None
+                ]
+                if firsts:
+                    self._m_cut_latency.observe(now - min(firsts))
             self.consensus.propose(proposal)
 
     # -------------------------------------------------------------- consensus
@@ -480,6 +515,9 @@ class RapidNode:
         self.config = config
         self.status = NodeStatus.ACTIVE
         self.view_changes_installed += 1
+        self._m_view_changes.inc()
+        self._m_node_views.inc()
+        self._cluster_metrics.gauge("view_size").set(config.size)
         self.topology = KRingTopology.for_configuration(config, self.settings.k)
         self.cut_detector = MultiNodeCutDetector(
             self.settings.k, self.settings.h, self.settings.l, self.topology
@@ -492,6 +530,7 @@ class RapidNode:
             settings=self.settings,
             broadcast=self.broadcaster.broadcast,
             on_decide=self._on_decide,
+            metrics=self.metrics,
         )
         # Reset monitoring for the new topology.
         self._subjects = [

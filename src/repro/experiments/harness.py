@@ -1,10 +1,11 @@
 """Uniform harnesses for running each membership system in the simulator.
 
 Every harness exposes the same surface — ``bootstrap``, ``run_for``,
-``run_until_converged``, ``crash``, ``live_endpoints``, ``view_sizes`` — so
-the experiment scenarios (:mod:`repro.experiments.scenarios`) can run the
-paper's comparisons across Rapid, Rapid-C, Memberlist/SWIM, ZooKeeper, and
-Akka with identical drivers.
+``run_until_converged``, ``crash``, ``live_endpoints``, ``view_sizes``, and
+a shared ``metrics`` registry (:mod:`repro.obs.metrics`) — so the
+experiment scenarios (:mod:`repro.experiments.scenarios`) and the benchmark
+runner (:mod:`repro.bench`) can run the paper's comparisons across Rapid,
+Rapid-C, Memberlist/SWIM, ZooKeeper, and Akka with identical drivers.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from repro.baselines.swim import SwimConfig, SwimNode
 from repro.baselines.zookeeper import ZkClient, ZkConfig, build_ensemble
 from repro.core.node_id import Endpoint
 from repro.core.settings import RapidSettings
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.cluster import SimCluster, endpoint_for
 from repro.sim.engine import Engine
 from repro.sim.latency import LatencyModel
@@ -39,8 +41,11 @@ class _AgentHarness:
 
     def __init__(self, seed: int = 0, latency: Optional[LatencyModel] = None) -> None:
         self.seed = seed
-        self.engine = Engine()
-        self.network = Network(self.engine, seed=seed, latency=latency)
+        self.metrics = MetricsRegistry()
+        self.engine = Engine(metrics=self.metrics)
+        self.network = Network(
+            self.engine, seed=seed, latency=latency, metrics=self.metrics
+        )
         self.trace = ViewTrace()
         self.agents: dict[Endpoint, object] = {}
         self.runtimes: dict[Endpoint, SimRuntime] = {}
@@ -53,7 +58,7 @@ class _AgentHarness:
     # -- common driving ---------------------------------------------------
     def bootstrap(self, n: int, seed_delay: float = 10.0, stagger: float = 0.0) -> list:
         self.endpoints = [endpoint_for(i) for i in range(n)]
-        rng = self.network._loss_rng
+        rng = self.network.rng_for("bootstrap", "stagger")
         for i, ep in enumerate(self.endpoints):
             runtime = SimRuntime(self.engine, self.network, ep, seed=self.seed)
             agent = self._make_agent(runtime, i)
@@ -163,6 +168,7 @@ class RapidHarness:
         )
         self.engine = self.cluster.engine
         self.network = self.cluster.network
+        self.metrics = self.cluster.metrics
         self.trace = self.cluster.view_trace
         self.endpoints: list[Endpoint] = []
 

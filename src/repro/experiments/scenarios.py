@@ -1,14 +1,15 @@
 """Experiment scenarios reproducing each table and figure of the paper.
 
 Every function is deterministic given its ``seed`` and returns a plain dict
-of results; the benchmark suite (``benchmarks/``) calls these and renders
-paper-shaped tables, and the test suite asserts the qualitative claims
-(who wins, who is stable, who flaps).
+of results; the benchmark runner (``python -m repro.bench``, see
+:mod:`repro.bench`) calls these and renders paper-shaped tables, and the
+test suite asserts the qualitative claims (who wins, who is stable, who
+flaps).
 
 Cluster sizes default to scaled-down values (the paper ran 1000-2000
 processes on 100 VMs; pure-Python simulation of the full size is possible
-but slow).  Scale via the ``n`` arguments or the ``RAPID_BENCH_SCALE``
-environment variable read by the benchmarks.
+but slow).  Scale via the ``n`` arguments or the benchmark CLI's
+``--scale`` flag.
 """
 
 from __future__ import annotations

@@ -15,6 +15,7 @@ from repro.core.events import NodeStatus
 from repro.core.membership import RapidNode
 from repro.core.node_id import Endpoint
 from repro.core.settings import RapidSettings
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
 from repro.sim.latency import LatencyModel
 from repro.sim.network import Network
@@ -41,6 +42,9 @@ class SimCluster:
     mode:
         ``"decentralized"`` (default) or ``"centralized"`` (Rapid-C with a
         3-node ensemble).
+    metrics:
+        Shared :class:`~repro.obs.metrics.MetricsRegistry` wired into the
+        engine, network, and every node; created (enabled) by default.
     """
 
     ENSEMBLE_PORT = 9000
@@ -52,13 +56,17 @@ class SimCluster:
         latency: Optional[LatencyModel] = None,
         mode: str = "decentralized",
         ensemble_size: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if mode not in ("decentralized", "centralized"):
             raise ValueError(f"unknown mode {mode!r}")
         self.seed = seed
         self.settings = settings or RapidSettings()
-        self.engine = Engine()
-        self.network = Network(self.engine, seed=seed, latency=latency)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.engine = Engine(metrics=self.metrics)
+        self.network = Network(
+            self.engine, seed=seed, latency=latency, metrics=self.metrics
+        )
         self.mode = mode
         self.view_trace = ViewTrace()
         self.event_log = ViewChangeEventLog()
@@ -101,6 +109,7 @@ class SimCluster:
                 detector_factory=detector_factory,
                 view_trace=self.view_trace,
                 event_log=self.event_log,
+                metrics=self.metrics,
             )
         else:
             node = RapidNode(
@@ -112,6 +121,7 @@ class SimCluster:
                 detector_factory=detector_factory,
                 view_trace=self.view_trace,
                 event_log=self.event_log,
+                metrics=self.metrics,
             )
         self.nodes[endpoint] = node
         self.runtimes[endpoint] = runtime
@@ -141,7 +151,7 @@ class SimCluster:
             self.add_node(seed_ep, on_view_change=on_view_change)
         else:
             self.add_node(seed_ep, seeds=(seed_ep,), on_view_change=on_view_change)
-        rng = self.network._loss_rng  # reuse a seeded stream for stagger only
+        rng = self.network.rng_for("bootstrap", "stagger")
         for ep in endpoints[1:]:
             offset = seed_delay + (rng.random() * stagger if stagger else 0.0)
             if self.mode == "centralized":

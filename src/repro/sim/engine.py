@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 
 __all__ = ["Engine", "EventHandle"]
 
@@ -58,11 +61,16 @@ class Engine:
     accidents.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now = 0.0
         self._heap: list[_Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: Wall-clock seconds spent inside :meth:`run` (real time, not
+        #: virtual).  Tracked outside the metrics registry on purpose:
+        #: registry snapshots hold only deterministic virtual-time data.
+        self.wall_time_s = 0.0
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     @property
     def now(self) -> float:
@@ -121,21 +129,35 @@ class Engine:
         even if the queue drains early, so periodic measurements can assume
         the full window elapsed.
         """
-        executed = 0
-        while self._heap:
-            if max_events is not None and executed >= max_events:
-                return
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and head.time > until:
-                break
-            if not self.step():
-                break
-            executed += 1
-        if until is not None and self._now < until:
-            self._now = until
+        started = time.perf_counter()
+        try:
+            executed = 0
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self.wall_time_s += time.perf_counter() - started
+            if self.metrics.enabled:
+                self.metrics.gauge("engine.virtual_s").set(self._now)
+                self.metrics.gauge("engine.events_processed").set(
+                    self._events_processed
+                )
+                # Count live events only: cancelled timers linger in the
+                # heap as tombstones until lazily popped.
+                self.metrics.gauge("engine.pending_events").set(
+                    sum(1 for event in self._heap if not event.cancelled)
+                )
 
     def run_for(self, duration: float) -> None:
         """Run for ``duration`` virtual seconds from the current time."""

@@ -19,6 +19,7 @@ from collections import defaultdict
 from typing import Any, Callable, Optional
 
 from repro.core.node_id import Endpoint
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultRule
 from repro.sim.rng import child_rng
@@ -88,6 +89,10 @@ class Network:
         Root seed; latency and loss decisions derive child generators.
     latency:
         One-way delay model (defaults to :class:`LanLatency`).
+    metrics:
+        Registry receiving the fabric-wide ``net.*`` counters; a private
+        enabled registry is created when none is supplied, so traffic
+        accounting is always on.
     """
 
     def __init__(
@@ -95,8 +100,10 @@ class Network:
         engine: Engine,
         seed: int = 0,
         latency: Optional[LatencyModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.engine = engine
+        self.seed = seed
         self.latency = latency or LanLatency()
         self._handlers: dict[Endpoint, Callable[[Endpoint, Any], None]] = {}
         self._crashed: set[Endpoint] = set()
@@ -108,8 +115,47 @@ class Network:
         self.buckets: dict[Endpoint, dict[int, list[int]]] = defaultdict(
             lambda: defaultdict(lambda: [0, 0])
         )
-        self.dropped_messages = 0
-        self.delivered_messages = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        net = self.metrics.scope("net")
+        self._sent_counter = net.counter("messages_sent")
+        self._delivered_counter = net.counter("messages_delivered")
+        self._dropped_counter = net.counter("messages_dropped")
+        self._tx_bytes_counter = net.counter("bytes_sent")
+        self._rx_bytes_counter = net.counter("bytes_received")
+
+    @property
+    def sent_messages(self) -> int:
+        """Messages accepted for transmission (before loss/crash drops)."""
+        return self._sent_counter.value
+
+    @property
+    def dropped_messages(self) -> int:
+        """Messages lost to crashes, fault rules, or missing handlers."""
+        return self._dropped_counter.value
+
+    @property
+    def delivered_messages(self) -> int:
+        """Messages handed to a live recipient handler."""
+        return self._delivered_counter.value
+
+    @property
+    def sent_bytes(self) -> int:
+        """Total wire bytes accepted for transmission across endpoints."""
+        return self._tx_bytes_counter.value
+
+    @property
+    def received_bytes(self) -> int:
+        """Total wire bytes delivered to live handlers across endpoints."""
+        return self._rx_bytes_counter.value
+
+    def rng_for(self, *scope: object):
+        """A seeded RNG stream derived from this network's root seed.
+
+        Callers needing auxiliary randomness (e.g. bootstrap stagger) get
+        an independent child generator instead of borrowing the private
+        loss/latency streams, so their draws never perturb fault sampling.
+        """
+        return child_rng(self.seed, "network", *scope)
 
     # ------------------------------------------------------------------ setup
 
@@ -158,11 +204,11 @@ class Network:
         now = self.engine.now
         self._account(src, now, tx=size)
         if dst in self._crashed:
-            self.dropped_messages += 1
+            self._dropped_counter.inc()
             return
         for rule in self._rules:
             if rule.should_drop(src, dst, now, self._loss_rng):
-                self.dropped_messages += 1
+                self._dropped_counter.inc()
                 return
         delay = self.latency.sample(self._latency_rng, size)
         self.engine.schedule(delay, self._deliver, src, dst, msg, size)
@@ -170,10 +216,10 @@ class Network:
     def _deliver(self, src: Endpoint, dst: Endpoint, msg: Any, size: int) -> None:
         handler = self._handlers.get(dst)
         if handler is None or dst in self._crashed:
-            self.dropped_messages += 1
+            self._dropped_counter.inc()
             return
         self._account(dst, self.engine.now, rx=size)
-        self.delivered_messages += 1
+        self._delivered_counter.inc()
         handler(src, msg)
 
     def _account(self, addr: Endpoint, now: float, tx: int = 0, rx: int = 0) -> None:
@@ -183,10 +229,13 @@ class Network:
             stats.tx_bytes += tx
             stats.tx_messages += 1
             bucket[0] += tx
+            self._sent_counter.inc()
+            self._tx_bytes_counter.inc(tx)
         if rx:
             stats.rx_bytes += rx
             stats.rx_messages += 1
             bucket[1] += rx
+            self._rx_bytes_counter.inc(rx)
 
     # -------------------------------------------------------------- reporting
 

@@ -1,0 +1,147 @@
+"""Tests for the repro.bench benchmark subsystem."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import BenchRunner, build_report, render_report, write_report
+from repro.bench.specs import BenchSpec, suite_specs
+
+WALL_FIELDS = {"wall_s", "engine_wall_s", "events_per_wall_s"}
+
+
+class TestSpecs:
+    def test_quick_suite_has_enough_cases(self):
+        specs = suite_specs("quick")
+        assert len(specs) >= 3
+        assert {spec.scenario for spec in specs} == {
+            "bootstrap",
+            "crash",
+            "packet_loss",
+        }
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            suite_specs("nope")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            BenchSpec("warp", "rapid", 8)
+
+    def test_scaling_grows_n_and_caps_failures(self):
+        spec = BenchSpec("crash", "rapid", 16, params={"failures": 3})
+        scaled = spec.scaled(4.0)
+        assert scaled.n == 64
+        assert scaled.params["failures"] == 3
+        shrunk = spec.scaled(0.25)
+        assert shrunk.n == 4
+        assert shrunk.params["failures"] == 1
+
+    def test_name_encodes_fault_profile(self):
+        spec = BenchSpec("packet_loss", "rapid", 8, seed=2, params={"loss": 0.8})
+        assert spec.name == "packet_loss/rapid/n8/s2/loss=0.8"
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def case(self):
+        runner = BenchRunner(log=None)
+        return runner.run_case(BenchSpec("bootstrap", "rapid", 8, seed=1))
+
+    def test_case_captures_required_measurements(self, case):
+        payload = case.to_json()
+        assert payload["wall_s"] > 0
+        assert 0 < payload["engine_wall_s"] <= payload["wall_s"]
+        assert payload["virtual_s"] > 0
+        assert payload["events_processed"] > 0
+        for key in ("sent", "delivered", "dropped", "bytes_sent", "bytes_received"):
+            assert payload["messages"][key] >= 0
+        assert payload["messages"]["sent"] > 0
+
+    def test_case_metrics_include_cluster_and_consensus(self, case):
+        metrics = case.metrics
+        assert metrics["cluster.view_changes"] > 0
+        assert metrics["consensus.decisions_fast_path"] >= 0
+        assert "cluster.cut_detection_latency_s" in metrics
+
+    def test_per_node_metrics_dropped_by_default(self, case):
+        assert not any(name.startswith("node.") for name in case.metrics)
+
+    def test_scenario_result_is_scalar_only(self, case):
+        assert "harness" not in case.result
+        assert "timeseries" not in case.result
+        json.dumps(case.result)
+
+    def test_same_seed_runs_identical_virtual_metrics(self):
+        runner = BenchRunner(log=None)
+        spec = BenchSpec("crash", "rapid", 8, seed=5, params={"failures": 2})
+        a = runner.run_case(spec).to_json()
+        b = runner.run_case(spec).to_json()
+        for field in WALL_FIELDS:
+            a.pop(field), b.pop(field)
+        assert a == b
+
+    def test_render_report_mentions_every_case(self):
+        runner = BenchRunner(log=None)
+        cases = runner.run([BenchSpec("bootstrap", "rapid", 8, seed=1)])
+        text = render_report(cases)
+        assert "bootstrap/rapid/n8/s1" in text
+        assert "converged@" in text
+
+
+class TestJsonOutput:
+    def test_report_schema_and_roundtrip(self, tmp_path):
+        runner = BenchRunner(log=None)
+        cases = runner.run([BenchSpec("bootstrap", "rapid", 8, seed=1)])
+        report = build_report("quick", 1.0, cases)
+        path = write_report(report, tmp_path / "BENCH_test.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro.bench/v1"
+        assert loaded["suite"] == "quick"
+        assert loaded["config"]["python"]
+        assert len(loaded["cases"]) == 1
+        case = loaded["cases"][0]
+        for key in (
+            "name",
+            "wall_s",
+            "virtual_s",
+            "events_processed",
+            "messages",
+            "metrics",
+            "result",
+        ):
+            assert key in case
+
+
+class TestCli:
+    def test_quick_suite_smoke(self, tmp_path, capsys):
+        # The acceptance-criteria invocation, in-process with a reduced
+        # scale so the whole suite stays test-sized.
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "BENCH_quick.json"
+        code = main(
+            ["--suite", "quick", "--scale", "0.5", "--quiet", "--out", str(out)]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.bench/v1"
+        assert len(report["cases"]) >= 3
+        for case in report["cases"]:
+            assert case["wall_s"] > 0
+            assert case["virtual_s"] > 0
+            assert case["events_processed"] > 0
+            assert case["messages"]["sent"] > 0
+        assert "benchmark summary" in capsys.readouterr().out
+
+    def test_list_and_filter(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--suite", "quick", "--filter", "bootstrap", "--list"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out and all("bootstrap" in line for line in out)
+
+    def test_filter_without_match_errors(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--suite", "quick", "--filter", "zzz", "--list"]) == 2

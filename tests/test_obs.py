@@ -1,0 +1,169 @@
+"""Unit tests for the repro.obs metrics layer."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import percentile as exact_percentile
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_counter_accepts_floats(self):
+        c = Counter("x")
+        c.inc(0.5)
+        c.inc(0.25)
+        assert c.value == 0.75
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        h = Histogram("x")
+        assert h.summary() == {
+            "count": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+
+    def test_single_value(self):
+        h = Histogram("x")
+        h.observe(4.2)
+        s = h.summary()
+        assert s["count"] == 1
+        assert s["max"] == 4.2
+        assert s["p50"] == pytest.approx(4.2, rel=0.1)
+
+    def test_mean_is_exact(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(4.0)
+
+    def test_zero_and_negative_values(self):
+        h = Histogram("x")
+        h.observe(0.0)
+        h.observe(0.0)
+        h.observe(1.0)
+        assert h.percentile(50) == 0.0
+        assert h.max == 1.0
+
+    @pytest.mark.parametrize("p", [50, 90, 99])
+    def test_quantiles_within_bucket_error(self, p):
+        # Relative error of the log-bucketed sketch is bounded by the
+        # bucket width (~9%); compare against the exact percentile over a
+        # heavy-tailed sample spanning several orders of magnitude.
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        h = Histogram("x")
+        for v in values:
+            h.observe(v)
+        exact = exact_percentile(values, p)
+        assert h.percentile(p) == pytest.approx(exact, rel=0.12)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram("x")
+        for v in (3.0, 3.1, 3.2):
+            h.observe(v)
+        assert 3.0 <= h.percentile(1) <= 3.2
+        assert 3.0 <= h.percentile(99) <= 3.2
+
+
+class TestRegistry:
+    def test_instruments_memoized_by_name(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.histogram("h") is m.histogram("h")
+
+    def test_scope_prefixes_names(self):
+        m = MetricsRegistry()
+        scope = m.scope("node", "10.0.0.1:5000")
+        scope.counter("alerts_sent").inc()
+        assert m.snapshot() == {"node.10.0.0.1:5000.alerts_sent": 1}
+
+    def test_nested_scope(self):
+        m = MetricsRegistry()
+        m.scope("a").scope("b").counter("c").inc(2)
+        assert m.counter("a.b.c").value == 2
+
+    def test_snapshot_sorted_and_serializable(self):
+        import json
+
+        m = MetricsRegistry()
+        m.counter("z").inc()
+        m.counter("a").inc()
+        m.gauge("m").set(1.5)
+        m.histogram("h").observe(2.0)
+        snap = m.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+
+    def test_disabled_registry_is_null(self):
+        m = MetricsRegistry(enabled=False)
+        m.counter("a").inc()
+        m.gauge("g").set(5)
+        m.histogram("h").observe(1.0)
+        assert m.snapshot() == {}
+
+    def test_null_metrics_shared_and_inert(self):
+        NULL_METRICS.counter("x").inc()
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.counter("x") is NULL_METRICS.counter("y")
+
+    def test_reset_clears_instruments(self):
+        m = MetricsRegistry()
+        m.counter("a").inc()
+        m.reset()
+        assert m.snapshot() == {}
+
+
+class TestSimulationDeterminism:
+    """Same-seed runs must produce identical metric snapshots."""
+
+    @staticmethod
+    def _run(seed):
+        from repro.experiments.scenarios import bootstrap_experiment
+
+        result = bootstrap_experiment("rapid", 8, seed=seed)
+        return result["harness"].metrics.snapshot()
+
+    def test_same_seed_identical_snapshots(self):
+        assert self._run(3) == self._run(3)
+
+    def test_different_seed_differs(self):
+        # Not a hard protocol guarantee, but with distinct seeds the
+        # message counts virtually never coincide; a collision here most
+        # likely means seeding is broken.
+        assert self._run(3) != self._run(4)
+
+    def test_network_counters_match_legacy_accounting(self):
+        from repro.experiments.scenarios import bootstrap_experiment
+
+        harness = bootstrap_experiment("rapid", 8, seed=1)["harness"]
+        network = harness.network
+        snap = harness.metrics.snapshot()
+        assert snap["net.messages_delivered"] == network.delivered_messages
+        assert snap["net.messages_dropped"] == network.dropped_messages
+        total_tx = sum(s.tx_bytes for s in network.stats.values())
+        assert snap["net.bytes_sent"] == total_tx
