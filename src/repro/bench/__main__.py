@@ -3,7 +3,13 @@
 Runs a declared suite (see :mod:`repro.bench.specs`), prints the
 paper-shaped ASCII summary, and writes the ``repro.bench/v1`` JSON
 report.  The report's virtual-time fields are deterministic given the
-suite and seeds; only ``wall_s`` varies across machines and runs.
+suite and seeds; only wall-clock and memory fields vary across machines
+and runs.
+
+``python -m repro.bench compare OLD.json NEW.json`` diffs two reports
+(see :mod:`repro.bench.compare`): per-case wall/throughput/bytes deltas,
+a configurable throughput-regression threshold, and an optional strict
+determinism check — the regression gate CI runs on every PR.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.bench.compare import main as compare_main
 from repro.bench.runner import BenchRunner, build_report, render_report, write_report
 from repro.bench.specs import SUITES, suite_specs
 
@@ -19,9 +26,13 @@ __all__ = ["main"]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        return compare_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Run the reproduction's benchmark suites.",
+        description="Run the reproduction's benchmark suites "
+        "(or `compare OLD.json NEW.json` to diff two reports).",
     )
     parser.add_argument(
         "--suite",
@@ -53,6 +64,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="keep per-node metrics (node.<ep>.*) in case snapshots",
     )
     parser.add_argument(
+        "--mem",
+        action="store_true",
+        help="trace python allocations (tracemalloc) and record each "
+        "case's alloc_peak_bytes; roughly doubles wall time",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list the selected cases and exit"
     )
     parser.add_argument(
@@ -72,7 +89,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     runner = BenchRunner(
-        include_per_node=args.per_node, log=None if args.quiet else print
+        include_per_node=args.per_node,
+        track_alloc=args.mem,
+        log=None if args.quiet else print,
     )
     cases = runner.run(specs)
     print(render_report(cases))

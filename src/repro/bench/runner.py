@@ -27,14 +27,17 @@ The report schema (``repro.bench/v1``)::
                         "bytes_sent": ..., "bytes_received": ...},
           "metrics": {<registry snapshot: counters, gauges,
                        histogram quantile summaries>},
-          "result": {<scenario scalars: convergence_time, ...>}
+          "result": {<scenario scalars: convergence_time, ...>},
+          "peak_rss_kb": 48560,            # nondeterministic (machine-local)
+          "alloc_peak_bytes": null         # set when run with --mem
         }, ...
       ]
     }
 
-Everything except ``wall_s`` / ``engine_wall_s`` / ``events_per_wall_s``
-is derived from virtual time and counters, so two same-seed runs produce
-identical values — the property the regression tests pin.
+Everything except the fields named in :data:`NONDETERMINISTIC_FIELDS`
+(wall-clock timings and memory measurements) is derived from virtual
+time and counters, so two same-seed runs produce identical values — the
+property the regression tests and ``python -m repro.bench compare`` pin.
 """
 
 from __future__ import annotations
@@ -42,7 +45,9 @@ from __future__ import annotations
 import json
 import platform
 import subprocess
+import sys
 import time
+import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence
@@ -51,9 +56,29 @@ from repro.analysis.report import render_table
 from repro.bench.specs import BenchSpec
 from repro.experiments import scenarios
 
-__all__ = ["BenchRunner", "CaseResult", "write_report", "render_report"]
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "BenchRunner",
+    "CaseResult",
+    "NONDETERMINISTIC_FIELDS",
+    "write_report",
+    "render_report",
+]
 
 SCHEMA = "repro.bench/v1"
+
+#: Case fields that legitimately differ between two same-seed runs:
+#: wall-clock timings and machine-local memory measurements.  Everything
+#: else in a case is derived from virtual time and counters and must be
+#: byte-identical across runs — the property ``repro.bench compare``
+#: and the determinism tests check.
+NONDETERMINISTIC_FIELDS = frozenset(
+    {"wall_s", "engine_wall_s", "events_per_wall_s", "peak_rss_kb", "alloc_peak_bytes"}
+)
 
 # Result keys that are either unserializable or too bulky for BENCH files.
 _RESULT_EXCLUDE = {"harness", "timeseries", "per_node_times"}
@@ -77,6 +102,13 @@ class CaseResult:
     messages: dict
     metrics: dict
     result: dict
+    #: Process high-water RSS (KB) sampled after the case; monotone over a
+    #: suite run, so only growth between cases is attributable to a case.
+    peak_rss_kb: Optional[int] = None
+    #: Peak python-allocated bytes during the case, via ``tracemalloc``
+    #: (only when the runner was built with ``track_alloc=True`` — tracing
+    #: roughly doubles wall time, so it is off by default).
+    alloc_peak_bytes: Optional[int] = None
 
     @property
     def events_per_wall_s(self) -> float:
@@ -102,6 +134,8 @@ class CaseResult:
             "messages": self.messages,
             "metrics": self.metrics,
             "result": self.result,
+            "peak_rss_kb": self.peak_rss_kb,
+            "alloc_peak_bytes": self.alloc_peak_bytes,
         }
 
 
@@ -113,6 +147,11 @@ class BenchRunner:
     include_per_node:
         Whether ``node.<ep>.*`` metrics are kept in case snapshots
         (dropped by default: they grow linearly with cluster size).
+    track_alloc:
+        Trace python allocations with ``tracemalloc`` and record each
+        case's peak (``alloc_peak_bytes``).  Off by default: tracing
+        roughly doubles wall time, which would poison the
+        ``events_per_wall_s`` regression signal.
     log:
         Progress sink (``None`` silences it).
     """
@@ -120,18 +159,32 @@ class BenchRunner:
     def __init__(
         self,
         include_per_node: bool = False,
+        track_alloc: bool = False,
         log: Optional[Callable[[str], None]] = print,
     ) -> None:
         self.include_per_node = include_per_node
+        self.track_alloc = track_alloc
         self._log = log or (lambda message: None)
 
     # -------------------------------------------------------------- execution
 
     def run_case(self, spec: BenchSpec) -> CaseResult:
         """Execute one spec and harvest its measurements."""
+        alloc_peak: Optional[int] = None
+        if self.track_alloc:
+            tracemalloc.start()
+            tracemalloc.reset_peak()
         started = time.perf_counter()
         outcome = self._execute(spec)
         wall_s = time.perf_counter() - started
+        if self.track_alloc:
+            _, alloc_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        peak_rss_kb: Optional[int] = None
+        if resource is not None:
+            peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            if sys.platform == "darwin":
+                peak_rss_kb //= 1024  # ru_maxrss is bytes on macOS, KB on Linux
         harness = outcome["harness"]
         engine = harness.engine
         network = harness.network
@@ -155,6 +208,8 @@ class BenchRunner:
             },
             metrics=snapshot,
             result=_scalars(outcome),
+            peak_rss_kb=peak_rss_kb,
+            alloc_peak_bytes=alloc_peak,
         )
 
     def run(self, specs: Iterable[BenchSpec]) -> list:

@@ -89,12 +89,23 @@ def quick_suite() -> list:
 
 
 def full_suite() -> list:
-    """Paper-shaped suite: larger clusters, more systems, repeated seeds."""
+    """Paper-shaped suite: larger clusters, more systems, repeated seeds.
+
+    Includes the paper's n=1000 operating point (section 7 runs 1000-2000
+    processes): the simulator's hot-path overhaul makes these cases a
+    matter of seconds-to-minutes of wall time rather than hours.
+    """
     specs: list = []
     for seed in (1, 2, 3):
         specs.append(BenchSpec("bootstrap", "rapid", 32, seed=seed))
     specs += [
         BenchSpec("bootstrap", "rapid", 64, seed=1),
+        BenchSpec("bootstrap", "rapid", 256, seed=1),
+        BenchSpec("bootstrap", "rapid", 512, seed=1),
+        BenchSpec("bootstrap", "rapid", 1000, seed=1),
+        BenchSpec("crash", "rapid", 256, seed=1, params={"failures": 8}),
+        BenchSpec("crash", "rapid", 512, seed=1, params={"failures": 16}),
+        BenchSpec("crash", "rapid", 1000, seed=1, params={"failures": 16}),
         BenchSpec("bootstrap", "rapid-c", 32, seed=1),
         BenchSpec("bootstrap", "memberlist", 32, seed=1),
         BenchSpec("bootstrap", "zookeeper", 32, seed=1),

@@ -25,9 +25,33 @@ from repro.core.messages import GossipEnvelope
 from repro.core.node_id import Endpoint
 from repro.runtime.base import Runtime
 
-__all__ = ["Broadcaster", "UnicastBroadcaster", "GossipBroadcaster"]
+__all__ = ["Broadcaster", "UnicastBroadcaster", "GossipBroadcaster", "make_fanout"]
 
 Deliver = Callable[[Endpoint, Any], None]
+
+Fanout = Callable[[Sequence[Endpoint], Any], None]
+
+
+def make_fanout(runtime: Runtime) -> Fanout:
+    """Resolve a runtime's fan-out capability once, at construction time.
+
+    Returns ``runtime.broadcast`` when the runtime provides one (the
+    simulated network sizes and delays the message once for the whole
+    storm) and an equivalent ``send``-loop fallback otherwise.  Every
+    caller that fans one payload out to many peers (the broadcasters
+    here, consensus vote gossip) goes through this single helper so the
+    capability probe and the fallback semantics live in one place.
+    """
+    broadcast = getattr(runtime, "broadcast", None)
+    if broadcast is not None:
+        return broadcast
+
+    def fanout(dsts: Sequence[Endpoint], msg: Any) -> None:
+        send = runtime.send
+        for dst in dsts:
+            send(dst, msg)
+
+    return fanout
 
 
 class Broadcaster:
@@ -45,22 +69,28 @@ class Broadcaster:
 
 
 class UnicastBroadcaster(Broadcaster):
-    """Send the payload directly to every member."""
+    """Send the payload directly to every member.
+
+    The peer list (membership minus self) is computed once per view change
+    rather than per broadcast, and the fan-out goes through the runtime's
+    ``broadcast`` fast path when one exists (see :func:`make_fanout`).
+    """
 
     def __init__(self, runtime: Runtime, deliver: Deliver) -> None:
         self.runtime = runtime
         self.deliver = deliver
         self._members: tuple = ()
+        self._peers: tuple = ()
+        self._fanout = make_fanout(runtime)
 
     def set_membership(self, members: Sequence[Endpoint]) -> None:
         self._members = tuple(members)
+        me = self.runtime.addr
+        self._peers = tuple(m for m in self._members if m != me)
 
     def broadcast(self, payload: Any) -> None:
-        me = self.runtime.addr
-        for member in self._members:
-            if member != me:
-                self.runtime.send(member, payload)
-        self.deliver(me, payload)
+        self._fanout(self._peers, payload)
+        self.deliver(self.runtime.addr, payload)
 
     def handle(self, src: Endpoint, envelope: Any) -> None:
         # Unicast broadcasts arrive as bare payloads; nothing to unwrap.
@@ -90,6 +120,7 @@ class GossipBroadcaster(Broadcaster):
         self._peers: tuple = ()
         self._seen: set = set()
         self._next_id = 0
+        self._fanout = make_fanout(runtime)
 
     def set_membership(self, members: Sequence[Endpoint]) -> None:
         self._members = tuple(members)
@@ -138,5 +169,4 @@ class GossipBroadcaster(Broadcaster):
         if not peers:
             return
         count = min(self.fanout, len(peers))
-        for peer in self.runtime.rng.sample(peers, count):
-            self.runtime.send(peer, envelope)
+        self._fanout(self.runtime.rng.sample(peers, count), envelope)

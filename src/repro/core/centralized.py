@@ -302,11 +302,7 @@ class CentralizedClusterNode(RapidNode):
     def _on_pre_join_request(self, src: Endpoint, msg: PreJoinRequest) -> None:
         return  # joins go through the ensemble
 
-    def _handle(self, src: Endpoint, msg: Any) -> None:
-        if isinstance(msg, ViewUpdate):
-            self._on_view_update(msg)
-            return
-        super()._handle(src, msg)
+    _DISPATCH_NAMES = {**RapidNode._DISPATCH_NAMES, ViewUpdate: "_on_view_update"}
 
     def _install(self, config, joined: tuple, removed: tuple) -> None:
         super()._install(config, joined=joined, removed=removed)
@@ -329,7 +325,7 @@ class CentralizedClusterNode(RapidNode):
             )
         self.runtime.schedule(self.settings.view_probe_interval, self._view_probe_tick)
 
-    def _on_view_update(self, msg: ViewUpdate) -> None:
+    def _on_view_update(self, src: Endpoint, msg: ViewUpdate) -> None:
         if self.status != NodeStatus.ACTIVE or self.config is None:
             return
         if msg.seq <= self.config.seq:

@@ -59,10 +59,18 @@ class Configuration:
 
     @property
     def config_id(self) -> int:
-        """Deterministic 64-bit identifier of this view."""
-        return stable_hash64(
-            "config", self.seq, tuple(str(m) for m in self.members), self.uuids
-        )
+        """Deterministic 64-bit identifier of this view.
+
+        Computed once and cached on the instance: every inbound message is
+        scoped by config id, so this is read on the simulator's hot path.
+        """
+        cached = self.__dict__.get("_config_id")
+        if cached is None:
+            cached = stable_hash64(
+                "config", self.seq, tuple(str(m) for m in self.members), self.uuids
+            )
+            object.__setattr__(self, "_config_id", cached)
+        return cached
 
     @property
     def size(self) -> int:
@@ -79,13 +87,22 @@ class Configuration:
             object.__setattr__(self, "_members_frozen", cached)
         return cached
 
-    def index_of(self, endpoint: Endpoint) -> int:
-        """Position of ``endpoint`` in the sorted membership (vote bitmaps)."""
+    def member_index(self) -> dict:
+        """The ``{endpoint: position}`` map over the sorted membership.
+
+        Built lazily once per configuration and shared — consensus
+        instances reuse it instead of rebuilding an O(N) dict per node per
+        view change.  Treat the returned dict as read-only.
+        """
         index = self.__dict__.get("_index")
         if index is None:
             index = {m: i for i, m in enumerate(self.members)}
             object.__setattr__(self, "_index", index)
-        return index[endpoint]
+        return index
+
+    def index_of(self, endpoint: Endpoint) -> int:
+        """Position of ``endpoint`` in the sorted membership (vote bitmaps)."""
+        return self.member_index()[endpoint]
 
     def uuid_of(self, endpoint: Endpoint) -> Optional[int]:
         try:

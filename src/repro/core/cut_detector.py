@@ -71,6 +71,16 @@ class MultiNodeCutDetector:
         # no longer count as unstable and are not re-proposed.
         self._proposed: set = set()
         self.proposals_emitted = 0
+        # Incremental aggregation-rule state, so the per-alert check is
+        # O(1) instead of a scan over every reported subject: the number
+        # of subjects at/above the high watermark, the number of
+        # *unproposed* subjects in the blocking region [L, H), and the
+        # number of REMOVE-kind subjects (when zero — e.g. during mass
+        # bootstraps — the implicit-alert rule cannot apply and is
+        # skipped wholesale).
+        self._stable_count = 0
+        self._unstable_count = 0
+        self._remove_count = 0
 
     # ---------------------------------------------------------------- feeding
 
@@ -89,26 +99,30 @@ class MultiNodeCutDetector:
         if kind is None:
             self._kinds[subject] = (alert.kind, alert.joiner_uuid)
             self._first_seen[subject] = now
+            if alert.kind == AlertKind.REMOVE:
+                self._remove_count += 1
         elif kind[0] != alert.kind:
             return None  # conflicting kind: drop (cannot happen in-protocol)
-        rings = self._reports.setdefault(subject, {})
+        rings = self._reports.get(subject)
+        if rings is None:
+            rings = self._reports[subject] = {}
+        before = len(rings)
+        k = self.k
         for ring in alert.ring_numbers:
-            if 0 <= ring < self.k:
+            if 0 <= ring < k:
                 rings.setdefault(ring, alert.observer)
+        after = len(rings)
+        if after != before:
+            self._rezone(before, after)
         return self.check_proposal(now)
 
     def check_proposal(self, now: float = 0.0) -> Optional[Proposal]:
         """Re-evaluate the aggregation rule (after implicit alerts etc.)."""
         self._apply_implicit_alerts()
-        stable = [s for s in self._reports if self._tally(s) >= self.h]
-        if not stable:
+        if self._stable_count == 0 or self._unstable_count > 0:
             return None
-        if any(
-            self.l <= self._tally(s) < self.h
-            for s in self._reports
-            if s not in self._proposed
-        ):
-            return None
+        h = self.h
+        stable = [s for s, rings in self._reports.items() if len(rings) >= h]
         self._proposed.update(stable)
         self.proposals_emitted += 1
         return make_proposal(
@@ -116,23 +130,54 @@ class MultiNodeCutDetector:
             for s in stable
         )
 
+    def _rezone(self, before: int, after: int) -> None:
+        """Maintain the stable/unstable counters across a tally change.
+
+        Only unproposed subjects ever change tally (proposed subjects are
+        filtered at ingest and are past ``H`` for the implicit rule), so
+        the blocking-region count needs no membership test here.
+        """
+        if before < self.l:
+            if after >= self.h:
+                self._stable_count += 1
+            elif after >= self.l:
+                self._unstable_count += 1
+        elif before < self.h:
+            if after >= self.h:
+                self._unstable_count -= 1
+                self._stable_count += 1
+
     # ------------------------------------------------------- implicit alerts
 
     def _apply_implicit_alerts(self) -> None:
         """Paper section 4.2: if observer ``o`` of an unstable subject ``s``
         is itself failing (unstable, stable, or already proposed for
         removal), count an implicit alert from ``o`` about ``s``."""
-        if self.topology is None:
+        if self.topology is None or self._unstable_count == 0:
             return
-        unstable = [s for s in self._reports if self.l <= self._tally(s) < self.h]
-        for subject in unstable:
-            rings = self._reports[subject]
-            observers = self.topology.observers_of(subject)
+        if self._remove_count == 0:
+            # No REMOVE-kind subject has ever been reported, so no
+            # observer can qualify as failing — common during mass
+            # bootstraps, where every subject is a joiner.
+            return
+        h = self.h
+        l = self.l
+        topology = self.topology
+        for subject, rings in self._reports.items():
+            before = len(rings)
+            if not (l <= before < h):
+                continue
+            observers = topology.observer_row(subject)
+            if observers is None:
+                observers = topology.observers_of(subject)
             for ring, observer in enumerate(observers):
                 if ring in rings:
                     continue
                 if self._failing(observer):
                     rings[ring] = observer
+            after = len(rings)
+            if after != before:
+                self._rezone(before, after)
 
     def _failing(self, endpoint: Endpoint) -> bool:
         if endpoint in self._proposed and self._kinds.get(endpoint, ("",))[0] == AlertKind.REMOVE:

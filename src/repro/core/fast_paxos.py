@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from repro.core.broadcaster import make_fanout
 from repro.core.messages import (
     Decision,
     Phase1a,
@@ -60,6 +61,11 @@ class FastPaxos:
     metrics:
         Registry receiving ``consensus.*`` counters and the decision
         latency histogram (virtual time; disabled by default).
+    index:
+        Optional pre-built ``{endpoint: position}`` map over ``members``
+        (e.g. :meth:`repro.core.configuration.Configuration.member_index`).
+        Sharing it avoids rebuilding an O(N) dict per node per view
+        change; treated as read-only.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class FastPaxos:
         broadcast: Callable[[object], None],
         on_decide: Callable[[Proposal], None],
         metrics: Optional[MetricsRegistry] = None,
+        index: Optional[dict] = None,
     ) -> None:
         self.runtime = runtime
         self.metrics = metrics if metrics is not None else NULL_METRICS
@@ -81,7 +88,11 @@ class FastPaxos:
         self.settings = settings
         self._broadcast = broadcast
         self._on_decide = on_decide
-        self._index = {m: i for i, m in enumerate(self.members)}
+        self._index = index if index is not None else {
+            m: i for i, m in enumerate(self.members)
+        }
+        self._peers = tuple(m for m in self.members if m != runtime.addr)
+        self._fanout = make_fanout(runtime)
         self.my_vote: Optional[Proposal] = None
         self.votes: dict[Proposal, int] = {}
         self.decided = False
@@ -217,11 +228,10 @@ class FastPaxos:
         if self.decided or not self.votes:
             return
         bundle = self._aggregate()
-        peers = [m for m in self.members if m != self.runtime.addr]
+        peers = self._peers
         if peers:
             count = min(self.settings.gossip_fanout, len(peers))
-            for peer in self.runtime.rng.sample(peers, count):
-                self.runtime.send(peer, bundle)
+            self._fanout(self.runtime.rng.sample(peers, count), bundle)
         self._gossip_timer = self.runtime.schedule(
             self.settings.gossip_interval, self._gossip_tick
         )

@@ -234,37 +234,39 @@ class RapidNode:
     # -------------------------------------------------------------- dispatch
 
     def on_message(self, src: Endpoint, msg: Any) -> None:
-        """Entry point for every inbound message."""
-        if isinstance(msg, GossipEnvelope):
-            self.broadcaster.handle(src, msg)
-            return
-        self._handle(src, msg)
+        """Entry point for every inbound message.
+
+        Exact-type dispatch table: wire messages are final dataclasses,
+        and a dict lookup beats a ten-way isinstance chain on the
+        per-message hot path.  Subclasses extend ``_DISPATCH`` (see
+        :class:`repro.core.centralized.CentralizedClusterNode`).
+        """
+        handler = self._DISPATCH.get(type(msg))
+        if handler is not None:
+            handler(self, src, msg)
 
     def _deliver_broadcast(self, origin: Endpoint, payload: Any) -> None:
         self._handle(origin, payload)
 
     def _handle(self, src: Endpoint, msg: Any) -> None:
-        if isinstance(msg, Probe):
-            self._on_probe(src, msg)
-        elif isinstance(msg, ProbeAck):
-            self._on_probe_ack(src, msg)
-        elif isinstance(msg, BatchedAlerts):
-            for alert in msg.alerts:
-                self._on_alert(alert)
-        elif isinstance(msg, (VoteBundle, Decision, Phase1a, Phase1b, Phase2a, Phase2b)):
-            self._on_consensus(src, msg)
-        elif isinstance(msg, PreJoinRequest):
-            self._on_pre_join_request(src, msg)
-        elif isinstance(msg, PreJoinResponse):
-            if self._join_protocol is not None:
-                self._join_protocol.on_pre_join_response(msg)
-        elif isinstance(msg, JoinRequest):
-            self._on_join_request(src, msg)
-        elif isinstance(msg, JoinResponse):
-            if self._join_protocol is not None:
-                self._join_protocol.on_join_response(msg)
-        elif isinstance(msg, LeaveNotification):
-            self._on_leave_notification(src, msg)
+        handler = self._DISPATCH.get(type(msg))
+        if handler is not None:
+            handler(self, src, msg)
+
+    def _on_gossip_envelope(self, src: Endpoint, msg: GossipEnvelope) -> None:
+        self.broadcaster.handle(src, msg)
+
+    def _on_batched_alerts(self, src: Endpoint, msg: BatchedAlerts) -> None:
+        for alert in msg.alerts:
+            self._on_alert(alert)
+
+    def _on_pre_join_response(self, src: Endpoint, msg: PreJoinResponse) -> None:
+        if self._join_protocol is not None:
+            self._join_protocol.on_pre_join_response(msg)
+
+    def _on_join_response(self, src: Endpoint, msg: JoinResponse) -> None:
+        if self._join_protocol is not None:
+            self._join_protocol.on_join_response(msg)
 
     # ------------------------------------------------------------- monitoring
 
@@ -531,6 +533,7 @@ class RapidNode:
             broadcast=self.broadcaster.broadcast,
             on_decide=self._on_decide,
             metrics=self.metrics,
+            index=config.member_index(),
         )
         # Reset monitoring for the new topology.
         self._subjects = [
@@ -691,3 +694,40 @@ class RapidNode:
         if msg.config_id != self.config.config_id or msg.sender not in self.config:
             return
         self._announce_removal(msg.sender)
+
+    # Message type -> handler method name; consensus types share one
+    # entry.  The callable table ``_DISPATCH`` is materialized per class
+    # (see ``_build_dispatch``) so subclass overrides are honored.
+    _DISPATCH_NAMES: dict = {
+        GossipEnvelope: "_on_gossip_envelope",
+        Probe: "_on_probe",
+        ProbeAck: "_on_probe_ack",
+        BatchedAlerts: "_on_batched_alerts",
+        VoteBundle: "_on_consensus",
+        Decision: "_on_consensus",
+        Phase1a: "_on_consensus",
+        Phase1b: "_on_consensus",
+        Phase2a: "_on_consensus",
+        Phase2b: "_on_consensus",
+        PreJoinRequest: "_on_pre_join_request",
+        PreJoinResponse: "_on_pre_join_response",
+        JoinRequest: "_on_join_request",
+        JoinResponse: "_on_join_response",
+        LeaveNotification: "_on_leave_notification",
+    }
+    _DISPATCH: dict = {}
+
+    @classmethod
+    def _build_dispatch(cls) -> None:
+        """Resolve ``_DISPATCH_NAMES`` against this class's MRO."""
+        cls._DISPATCH = {
+            msg_type: getattr(cls, name)
+            for msg_type, name in cls._DISPATCH_NAMES.items()
+        }
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._build_dispatch()
+
+
+RapidNode._build_dispatch()

@@ -22,6 +22,7 @@ topologies are memoized per ``(config_id, k)``.
 from __future__ import annotations
 
 import bisect
+import functools
 from collections import OrderedDict
 from typing import Iterable, Optional, Sequence
 
@@ -31,7 +32,10 @@ from repro.core.node_id import Endpoint, stable_hash64
 __all__ = ["KRingTopology"]
 
 
+@functools.lru_cache(maxsize=1 << 17)
 def _ring_key(ring: int, endpoint: Endpoint) -> int:
+    # Memoized: consecutive configurations share almost all members, so a
+    # topology rebuild after a view change only hashes the new joiners.
     return stable_hash64("ring", ring, str(endpoint))
 
 
@@ -58,6 +62,12 @@ class KRingTopology:
         self._rings: list[list[Endpoint]] = []
         self._keys: list[list[int]] = []
         self._pos: list[dict[Endpoint, int]] = []
+        # Per-member neighbor rows, indexed by ring number: the protocol
+        # layer asks "who observes s?" / "whom does o monitor?" on every
+        # alert and probe tick, so both directions are precomputed here in
+        # the same O(NK) pass that builds the rings.
+        observers: dict[Endpoint, list] = {m: [None] * k for m in self.members}
+        subjects: dict[Endpoint, list] = {m: [None] * k for m in self.members}
         for ring in range(k):
             keyed = sorted(
                 ((_ring_key(ring, m), m) for m in self.members),
@@ -67,6 +77,17 @@ class KRingTopology:
             self._rings.append(order)
             self._keys.append([key for key, _ in keyed])
             self._pos.append({m: i for i, m in enumerate(order)})
+            n = len(order)
+            for i, member in enumerate(order):
+                successor = order[(i + 1) % n]
+                subjects[member][ring] = successor
+                observers[successor][ring] = member
+        self._observer_rows: dict[Endpoint, tuple] = {
+            m: tuple(row) for m, row in observers.items()
+        }
+        self._subject_rows: dict[Endpoint, tuple] = {
+            m: tuple(row) for m, row in subjects.items()
+        }
 
     # ------------------------------------------------------------------ cache
 
@@ -101,13 +122,27 @@ class KRingTopology:
         ring — which is exactly the set of temporary observers the join
         protocol assigns (paper section 4.1, "Joins").
         """
+        row = self._observer_rows.get(subject)
+        if row is not None:
+            return list(row)
         return [self._neighbor(ring, subject, -1) for ring in range(self.k)]
+
+    def observer_row(self, subject: Endpoint) -> Optional[tuple]:
+        """Zero-copy variant of :meth:`observers_of` for member subjects.
+
+        Returns the precomputed ring-indexed observer tuple, or ``None``
+        when ``subject`` is not a member (prospective joiners take the
+        bisect path via :meth:`observers_of`).  Hot paths use this to
+        avoid a list allocation per query.
+        """
+        return self._observer_rows.get(subject)
 
     def subjects_of(self, observer: Endpoint) -> list:
         """The ``K`` subjects monitored by ``observer``."""
-        if observer not in self._pos[0]:
+        row = self._subject_rows.get(observer)
+        if row is None:
             raise KeyError(f"{observer} is not a member")
-        return [self._neighbor(ring, observer, +1) for ring in range(self.k)]
+        return list(row)
 
     def observer_rings(self, observer: Endpoint, subject: Endpoint) -> list:
         """Ring numbers on which ``observer`` is the observer of ``subject``.
@@ -115,6 +150,9 @@ class KRingTopology:
         Alert messages carry these so the cut detector can tally distinct
         rings even when one process observes a subject on several rings.
         """
+        row = self._observer_rows.get(subject)
+        if row is not None:
+            return [ring for ring, obs in enumerate(row) if obs == observer]
         return [
             ring
             for ring in range(self.k)
@@ -123,11 +161,7 @@ class KRingTopology:
 
     def unique_observers_of(self, subject: Endpoint) -> list:
         """Deduplicated observers, order-preserving by ring number."""
-        seen = []
-        for obs in self.observers_of(subject):
-            if obs not in seen:
-                seen.append(obs)
-        return seen
+        return list(dict.fromkeys(self.observers_of(subject)))
 
     def edges(self) -> list:
         """All (observer, subject, ring) monitoring edges."""

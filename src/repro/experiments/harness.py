@@ -86,10 +86,18 @@ class _AgentHarness:
         return None
 
     def converged(self, size: int) -> bool:
-        live = self.live_endpoints()
-        if not live:
-            return False
-        return all(len(self.agents[ep].view()) == size for ep in live)
+        # Single pass, no intermediate list: polled once per virtual
+        # second by run_until_converged.
+        agents = self.agents
+        runtimes = self.runtimes
+        found = False
+        for ep in self.endpoints:
+            if runtimes[ep].crashed:
+                continue
+            found = True
+            if len(agents[ep].view()) != size:
+                return False
+        return found
 
     def crash(self, endpoints: Iterable[Endpoint]) -> None:
         for ep in endpoints:

@@ -534,5 +534,8 @@ class _Subruntime:
     def send(self, dst, msg):
         self._runtime.send(dst, msg)
 
+    def broadcast(self, dsts, msg):
+        self._runtime.broadcast(dsts, msg)
+
     def attach(self, handler):
         self._dispatcher.set_default(handler)

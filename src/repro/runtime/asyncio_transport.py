@@ -96,6 +96,14 @@ class AsyncioRuntime:
             raise
         self._transport.sendto(payload, (dst.host, dst.port))
 
+    def broadcast(self, dsts, msg: Any) -> None:
+        """Unicast ``msg`` to each destination, encoding the payload once."""
+        if self._transport is None or self._closed:
+            return
+        payload = encode_bytes(msg)
+        for dst in dsts:
+            self._transport.sendto(payload, (dst.host, dst.port))
+
     def attach(self, handler: Callable[[Endpoint, Any], None]) -> None:
         self._handler = handler
 

@@ -184,12 +184,17 @@ class SimCluster:
         return None
 
     def converged(self, size: int) -> bool:
-        live = list(self.live_nodes())
-        if not live:
-            return False
-        return all(
-            node.status == NodeStatus.ACTIVE and node.size == size for node in live
-        )
+        # Single pass, no intermediate lists: run_until_converged polls
+        # this every virtual second, which at n=1000 adds up.
+        runtimes = self.runtimes
+        found = False
+        for ep, node in self.nodes.items():
+            if runtimes[ep].crashed:
+                continue
+            found = True
+            if node.status != NodeStatus.ACTIVE or node.size != size:
+                return False
+        return found
 
     # ----------------------------------------------------------------- faults
 

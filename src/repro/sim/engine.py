@@ -7,41 +7,71 @@ virtual clock.  Determinism matters: given the same seed, an experiment
 replays byte-for-byte, which is what makes the benchmark suite meaningful.
 
 Times are floats in (virtual) seconds.
+
+Hot-path design (the engine executes tens of millions of events in a full
+benchmark run, so constant factors dominate):
+
+* Heap entries are plain ``(time, seq, event)`` tuples.  Tuple comparison
+  resolves on the two leading numbers — ``seq`` is unique — so the heap
+  never falls through to comparing event objects, and events themselves
+  are ``__slots__`` records rather than ``@dataclass(order=True)``
+  instances with generated ``__lt__``.
+* Events scheduled for the *current* instant bypass the heap entirely:
+  they go to an O(1) FIFO run queue.  Zero-delay scheduling (message
+  handlers posting follow-up work) is extremely common in protocol code
+  and would otherwise pay two O(log n) heap operations per event.
+* Cancelled events are tombstones swept in batch: a counter tracks them,
+  and when tombstones outnumber live heap entries the heap is compacted
+  in one O(n) pass instead of churning through lazy pops.  This keeps
+  probe-timeout storms (schedule + cancel per probe) cheap.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import time
-from dataclasses import dataclass, field
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
 
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 
 __all__ = ["Engine", "EventHandle"]
 
+#: Compaction threshold: sweep when at least this many tombstones exist
+#: *and* they outnumber live heap entries.
+_COMPACT_MIN = 256
 
-@dataclass(order=True)
+
 class _Event:
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    """One scheduled callback; mutable only through cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, when: float, seq: int, fn: Callable[..., None], args: tuple):
+        self.time = when
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
 
 
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.schedule`; cancellable."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, engine: "Engine"):
         self._event = event
+        self._engine = engine
 
     def cancel(self) -> None:
         """Cancel the event if it has not fired yet (idempotent)."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if not event.fired:
+                self._engine._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -63,8 +93,11 @@ class Engine:
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now = 0.0
-        self._heap: list[_Event] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, _Event]] = []
+        #: Run queue for events scheduled at exactly the current instant.
+        self._fifo: deque[_Event] = deque()
+        self._seq = 0
+        self._tombstones = 0
         self._events_processed = 0
         #: Wall-clock seconds spent inside :meth:`run` (real time, not
         #: virtual).  Tracked outside the metrics registry on purpose:
@@ -85,7 +118,12 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        return len(self._heap) + len(self._fifo)
+
+    @property
+    def pending_live(self) -> int:
+        """Number of queued events that are not cancelled tombstones."""
+        return len(self._heap) + len(self._fifo) - self._tombstones
 
     def schedule(self, delay: float, fn: Callable[..., None], *args) -> EventHandle:
         """Run ``fn(*args)`` after ``delay`` virtual seconds.
@@ -95,27 +133,93 @@ class Engine:
         """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        now = self._now
+        when = now + delay
+        self._seq = seq = self._seq + 1
+        event = _Event(when, seq, fn, args)
+        if when == now:
+            self._fifo.append(event)
+        else:
+            heappush(self._heap, (when, seq, event))
+        return EventHandle(event, self)
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args) -> EventHandle:
         """Run ``fn(*args)`` at absolute virtual time ``when``."""
-        if when < self._now:
-            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        event = _Event(time=when, seq=next(self._seq), fn=fn, args=args)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        now = self._now
+        if when < now:
+            raise ValueError(f"cannot schedule in the past: {when} < {now}")
+        self._seq = seq = self._seq + 1
+        event = _Event(when, seq, fn, args)
+        if when == now:
+            self._fifo.append(event)
+        else:
+            heappush(self._heap, (when, seq, event))
+        return EventHandle(event, self)
+
+    def post(self, delay: float, fn: Callable[..., None], *args) -> None:
+        """Like :meth:`schedule` but returns no handle (not cancellable).
+
+        The network fabric posts one of these per in-flight message;
+        skipping the :class:`EventHandle` allocation is a measurable win.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        now = self._now
+        when = now + delay
+        self._seq = seq = self._seq + 1
+        event = _Event(when, seq, fn, args)
+        if when == now:
+            self._fifo.append(event)
+        else:
+            heappush(self._heap, (when, seq, event))
+
+    # ------------------------------------------------------------- execution
+
+    def _next_live(self) -> Optional[_Event]:
+        """Peek the next runnable event without popping it.
+
+        Discards cancelled tombstones from both queue heads.  FIFO entries
+        always carry ``time == now`` while heap entries carry
+        ``time >= now``, so the heap only goes first when it holds a
+        same-time event with a smaller sequence number (scheduled earlier).
+        """
+        heap = self._heap
+        fifo = self._fifo
+        while True:
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+                self._tombstones -= 1
+            while fifo and fifo[0].cancelled:
+                fifo.popleft()
+                self._tombstones -= 1
+            if fifo:
+                event = fifo[0]
+                if heap and heap[0][0] == event.time and heap[0][1] < event.seq:
+                    return heap[0][2]
+                return event
+            if heap:
+                return heap[0][2]
+            return None
+
+    def _pop(self, event: _Event) -> None:
+        """Remove a just-peeked live event from its queue."""
+        fifo = self._fifo
+        if fifo and fifo[0] is event:
+            fifo.popleft()
+        else:
+            heappop(self._heap)
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` when idle."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        event = self._next_live()
+        if event is None:
+            return False
+        self._pop(event)
+        self._now = event.time
+        self._events_processed += 1
+        event.fired = True
+        event.fn(*event.args)
+        return True
 
     def run(
         self,
@@ -129,20 +233,51 @@ class Engine:
         even if the queue drains early, so periodic measurements can assume
         the full window elapsed.
         """
+        if until is not None and until < self._now:
+            return  # the window is already in the past; nothing can fire
         started = time.perf_counter()
+        executed = 0
+        # Local aliases for the hot loop; both containers are only ever
+        # mutated in place (see _compact), so they cannot go stale.
+        heap = self._heap
+        fifo = self._fifo
         try:
-            executed = 0
-            while self._heap:
+            while True:
                 if max_events is not None and executed >= max_events:
                     return
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
+                # Discard cancelled tombstones at both queue heads, then
+                # pick whichever head comes first in (time, seq) order.
+                # FIFO events always carry ``time == now <= until``, so
+                # only heap pops need the window check.
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)
+                    self._tombstones -= 1
+                while fifo and fifo[0].cancelled:
+                    fifo.popleft()
+                    self._tombstones -= 1
+                if fifo:
+                    event = fifo[0]
+                    head = heap[0] if heap else None
+                    if (
+                        head is not None
+                        and head[0] == event.time
+                        and head[1] < event.seq
+                    ):
+                        event = head[2]
+                        heappop(heap)
+                    else:
+                        fifo.popleft()
+                elif heap:
+                    event = heap[0][2]
+                    if until is not None and event.time > until:
+                        break
+                    heappop(heap)
+                else:
                     break
-                if not self.step():
-                    break
+                self._now = event.time
+                self._events_processed += 1
+                event.fired = True
+                event.fn(*event.args)
                 executed += 1
             if until is not None and self._now < until:
                 self._now = until
@@ -153,12 +288,40 @@ class Engine:
                 self.metrics.gauge("engine.events_processed").set(
                     self._events_processed
                 )
-                # Count live events only: cancelled timers linger in the
-                # heap as tombstones until lazily popped.
-                self.metrics.gauge("engine.pending_events").set(
-                    sum(1 for event in self._heap if not event.cancelled)
-                )
+                # Live events only: cancelled timers linger as tombstones
+                # until lazily popped or batch-compacted.
+                self.metrics.gauge("engine.pending_events").set(self.pending_live)
 
     def run_for(self, duration: float) -> None:
         """Run for ``duration`` virtual seconds from the current time."""
         self.run(until=self._now + duration)
+
+    # -------------------------------------------------------------- internal
+
+    def _note_cancel(self) -> None:
+        """Record a new tombstone; compact the heap when they dominate."""
+        self._tombstones += 1
+        tombstones = self._tombstones
+        if tombstones >= _COMPACT_MIN and tombstones * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Batch-sweep cancelled tombstones out of both queues in one pass.
+
+        Mutates the containers in place: :meth:`run` holds local aliases
+        to them across event execution, and cancellation (hence
+        compaction) can happen inside an event callback.  The FIFO is
+        swept too — leaving its tombstones counted would keep the
+        compaction trigger armed and turn every subsequent cancel into
+        another O(n) sweep.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapify(heap)
+        fifo = self._fifo
+        if fifo:
+            live = [event for event in fifo if not event.cancelled]
+            if len(live) != len(fifo):
+                fifo.clear()
+                fifo.extend(live)
+        self._tombstones = 0

@@ -60,7 +60,14 @@ class LanLatency(LatencyModel):
     sigma: float = 0.6
     bytes_per_second: float = 125_000_000.0
 
+    def __post_init__(self) -> None:
+        self._log_median = math.log(self.median)
+
     def sample(self, rng: random.Random, size_bytes: int) -> float:
-        propagation = rng.lognormvariate(math.log(self.median), self.sigma)
+        # exp(gauss(mu, sigma)) is the same lognormal distribution as
+        # rng.lognormvariate(mu, sigma), but gauss() amortizes one pair of
+        # uniforms over two samples where normalvariate() runs a rejection
+        # loop — measurably cheaper on the per-message hot path.
+        propagation = math.exp(rng.gauss(self._log_median, self.sigma))
         transmission = size_bytes / self.bytes_per_second
         return propagation + transmission

@@ -56,6 +56,16 @@ class SimRuntime:
         if not self._crashed:
             self.network.send(self.addr, dst, msg)
 
+    def broadcast(self, dsts, msg: Any) -> None:
+        """Fan ``msg`` out to every endpoint in ``dsts`` (fast path).
+
+        Optional runtime capability: callers discover it with ``getattr``
+        and fall back to a ``send`` loop (see
+        :class:`repro.core.broadcaster.UnicastBroadcaster`).
+        """
+        if not self._crashed:
+            self.network.broadcast(self.addr, dsts, msg)
+
     # ----------------------------------------------------------------- wiring
 
     def attach(self, handler: Callable[[Endpoint, Any], None]) -> None:

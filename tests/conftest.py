@@ -1,0 +1,34 @@
+"""Shared pytest configuration.
+
+Registers the ``microbench`` marker: focused timing tests that assert
+rough throughput floors for the simulator's hot paths.  They are skipped
+by default (tier-1 must stay deterministic and load-independent); opt in
+with ``pytest --microbench``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--microbench",
+        action="store_true",
+        default=False,
+        help="run microbenchmark timing tests (skipped by default)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "microbench: hot-path timing test, skipped unless --microbench is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--microbench"):
+        return
+    skip = pytest.mark.skip(reason="microbenchmark; run with --microbench")
+    for item in items:
+        if "microbench" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,26 @@
+"""Regenerate the committed golden snapshots used by test_determinism.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.regen_golden
+
+Only do this when a simulator change *intentionally* alters same-seed
+trajectories (different RNG consumption, scheduling order, or
+accounting); review the resulting diff like any other behavior change.
+"""
+
+import json
+
+from tests.test_determinism import GOLDEN_DIR, GOLDEN_SPECS, run_case
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, spec in sorted(GOLDEN_SPECS.items()):
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(run_case(spec), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

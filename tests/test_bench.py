@@ -4,10 +4,14 @@ import json
 
 import pytest
 
-from repro.bench.runner import BenchRunner, build_report, render_report, write_report
+from repro.bench.runner import (
+    NONDETERMINISTIC_FIELDS,
+    BenchRunner,
+    build_report,
+    render_report,
+    write_report,
+)
 from repro.bench.specs import BenchSpec, suite_specs
-
-WALL_FIELDS = {"wall_s", "engine_wall_s", "events_per_wall_s"}
 
 
 class TestSpecs:
@@ -77,9 +81,15 @@ class TestRunner:
         spec = BenchSpec("crash", "rapid", 8, seed=5, params={"failures": 2})
         a = runner.run_case(spec).to_json()
         b = runner.run_case(spec).to_json()
-        for field in WALL_FIELDS:
-            a.pop(field), b.pop(field)
+        for field in NONDETERMINISTIC_FIELDS:
+            a.pop(field, None), b.pop(field, None)
         assert a == b
+
+    def test_memory_fields_recorded(self):
+        runner = BenchRunner(log=None, track_alloc=True)
+        case = runner.run_case(BenchSpec("bootstrap", "rapid", 8, seed=1)).to_json()
+        assert case["alloc_peak_bytes"] > 0
+        assert case["peak_rss_kb"] is None or case["peak_rss_kb"] > 0
 
     def test_render_report_mentions_every_case(self):
         runner = BenchRunner(log=None)
@@ -145,3 +155,136 @@ class TestCli:
         from repro.bench.__main__ import main
 
         assert main(["--suite", "quick", "--filter", "zzz", "--list"]) == 2
+
+    def test_full_suite_includes_paper_operating_points(self):
+        names = [spec.name for spec in suite_specs("full")]
+        assert "bootstrap/rapid/n1000/s1" in names
+        assert any(name.startswith("crash/rapid/n512") for name in names)
+
+
+class TestCompare:
+    def _report(self, tmp_path, name, cases):
+        path = tmp_path / name
+        path.write_text(
+            json.dumps({"schema": "repro.bench/v1", "suite": "quick", "cases": cases})
+        )
+        return str(path)
+
+    @staticmethod
+    def _case(name, ev_per_s, events=100, extra=None):
+        case = {
+            "name": name,
+            "wall_s": 0.5,
+            "engine_wall_s": 0.4,
+            "events_per_wall_s": ev_per_s,
+            "events_processed": events,
+            "virtual_s": 15.0,
+            "messages": {"sent": 10, "bytes_sent": 1024},
+            "metrics": {"net.messages_sent": 10},
+            "result": {"convergence_time": 13.0},
+        }
+        case.update(extra or {})
+        return case
+
+    def test_identical_reports_pass(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        new = self._report(tmp_path, "new.json", [self._case("a", 1000.0)])
+        assert main(["compare", old, new, "--require-determinism"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_wall_fields_do_not_count_as_drift(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        new = self._report(
+            tmp_path,
+            "new.json",
+            [self._case("a", 900.0, extra={"wall_s": 9.0, "peak_rss_kb": 1})],
+        )
+        assert main(["compare", old, new, "--require-determinism"]) == 0
+
+    def test_throughput_regression_fails(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        new = self._report(tmp_path, "new.json", [self._case("a", 500.0)])
+        assert main(["compare", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_regression_threshold_is_configurable(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        new = self._report(tmp_path, "new.json", [self._case("a", 500.0)])
+        assert main(["compare", old, new, "--threshold", "0.6"]) == 0
+
+    def test_determinism_drift_fails_only_when_required(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0, events=100)])
+        new = self._report(tmp_path, "new.json", [self._case("a", 1000.0, events=101)])
+        assert main(["compare", old, new]) == 0
+        assert main(["compare", old, new, "--require-determinism"]) == 1
+        assert "drift" in capsys.readouterr().out
+
+    def test_case_set_change_fails_strict_compare(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        new = self._report(
+            tmp_path,
+            "new.json",
+            [self._case("a", 1000.0), self._case("b", 1000.0)],
+        )
+        assert main(["compare", old, new]) == 0
+        assert main(["compare", old, new, "--require-determinism"]) == 1
+
+    def test_unreadable_report_is_usage_error(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        assert main(["compare", old, str(tmp_path / "missing.json")]) == 2
+
+    def test_malformed_report_is_usage_error(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        case = self._case("a", 1000.0)
+        del case["name"]
+        bad = self._report(tmp_path, "bad.json", [case])
+        assert main(["compare", old, bad]) == 2
+        assert "malformed report" in capsys.readouterr().out
+
+    def test_missing_throughput_is_usage_error_not_silent_pass(self, tmp_path, capsys):
+        # A report whose throughput field is absent or zero must not slip
+        # through as "ok" — that would disarm the CI regression gate.
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        case = self._case("a", 0.0)
+        del case["events_per_wall_s"]
+        bad = self._report(tmp_path, "bad.json", [case])
+        assert main(["compare", old, bad]) == 2
+        assert "events_per_wall_s" in capsys.readouterr().out
+
+    def test_real_reports_roundtrip_through_compare(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        runner = BenchRunner(log=None)
+        spec = BenchSpec("bootstrap", "rapid", 8, seed=1)
+        for name in ("old.json", "new.json"):
+            cases = [runner.run_case(spec)]
+            write_report(build_report("quick", 1.0, cases), tmp_path / name)
+        assert (
+            main(
+                [
+                    "compare",
+                    str(tmp_path / "old.json"),
+                    str(tmp_path / "new.json"),
+                    "--require-determinism",
+                ]
+            )
+            == 0
+        )

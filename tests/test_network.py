@@ -1,0 +1,152 @@
+"""Tests for the simulated network fabric: accounting, broadcast, rates."""
+
+import pytest
+
+from repro.core.messages import Probe
+from repro.core.node_id import Endpoint
+from repro.sim.engine import Engine
+from repro.sim.faults import EgressLoss, IngressLoss
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network, wire_size
+
+
+def make_network(seed: int = 1):
+    engine = Engine()
+    return engine, Network(engine, seed=seed, latency=ConstantLatency(0.001))
+
+
+def endpoints(n: int):
+    return [Endpoint(f"10.0.0.{i + 1}", 5000) for i in range(n)]
+
+
+class TestSend:
+    def test_delivery_and_accounting(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        received = []
+        network.register(a, lambda src, msg: None)
+        network.register(b, lambda src, msg: received.append((src, msg)))
+        msg = Probe(sender=a, config_id=1, seq=1)
+        network.send(a, b, msg)
+        engine.run()
+        assert received == [(a, msg)]
+        size = wire_size(msg)
+        assert network.stats[a].tx_bytes == size
+        assert network.stats[b].rx_bytes == size
+        assert network.sent_messages == network.delivered_messages == 1
+
+    def test_crashed_destination_drops(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        network.register(a, lambda src, msg: None)
+        network.register(b, lambda src, msg: None)
+        network.crash(b)
+        network.send(a, b, Probe(sender=a, config_id=1, seq=1))
+        engine.run()
+        assert network.dropped_messages == 1
+        assert network.sent_messages == 1  # tx accounted before the drop
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_destination(self):
+        engine, network = make_network()
+        eps = endpoints(5)
+        src, peers = eps[0], eps[1:]
+        received = {ep: [] for ep in peers}
+        network.register(src, lambda s, m: None)
+        for ep in peers:
+            network.register(ep, lambda s, m, _ep=ep: received[_ep].append((s, m)))
+        msg = Probe(sender=src, config_id=1, seq=1)
+        network.broadcast(src, peers, msg)
+        engine.run()
+        for ep in peers:
+            assert received[ep] == [(src, msg)]
+        assert network.sent_messages == len(peers)
+        assert network.delivered_messages == len(peers)
+
+    def test_broadcast_accounting_matches_unicast_semantics(self):
+        # Bytes and message counts must equal what a send() loop produces:
+        # one message of wire_size(msg) per destination, both directions.
+        engine, network = make_network()
+        eps = endpoints(4)
+        src, peers = eps[0], eps[1:]
+        for ep in eps:
+            network.register(ep, lambda s, m: None)
+        msg = Probe(sender=src, config_id=1, seq=1)
+        network.broadcast(src, peers, msg)
+        engine.run()
+        size = wire_size(msg)
+        assert network.stats[src].tx_bytes == size * len(peers)
+        assert network.stats[src].tx_messages == len(peers)
+        for ep in peers:
+            assert network.stats[ep].rx_bytes == size
+            assert network.stats[ep].rx_messages == 1
+        assert network.sent_bytes == size * len(peers)
+        assert network.received_bytes == size * len(peers)
+
+    def test_broadcast_skips_crashed_and_ruled_out_destinations(self):
+        engine, network = make_network()
+        eps = endpoints(4)
+        src, peers = eps[0], eps[1:]
+        delivered = []
+        for ep in eps:
+            network.register(ep, lambda s, m, _ep=ep: delivered.append(_ep))
+        network.crash(peers[0])
+        network.add_rule(IngressLoss(nodes=frozenset({peers[1]}), probability=1.0))
+        network.broadcast(src, peers, Probe(sender=src, config_id=1, seq=1))
+        engine.run()
+        assert delivered == [peers[2]]
+        assert network.dropped_messages == 2
+
+    def test_broadcast_from_crashed_source_is_silent(self):
+        engine, network = make_network()
+        eps = endpoints(3)
+        src, peers = eps[0], eps[1:]
+        for ep in eps:
+            network.register(ep, lambda s, m: None)
+        network.crash(src)
+        network.broadcast(src, peers, Probe(sender=src, config_id=1, seq=1))
+        engine.run()
+        assert network.sent_messages == 0
+        assert network.dropped_messages == 0
+
+    def test_broadcast_respects_egress_loss(self):
+        engine, network = make_network()
+        eps = endpoints(3)
+        src, peers = eps[0], eps[1:]
+        for ep in eps:
+            network.register(ep, lambda s, m: None)
+        network.add_rule(EgressLoss(nodes=frozenset({src}), probability=1.0))
+        network.broadcast(src, peers, Probe(sender=src, config_id=1, seq=1))
+        engine.run()
+        assert network.delivered_messages == 0
+        assert network.dropped_messages == len(peers)
+
+
+class TestPerSecondRates:
+    def test_final_partial_second_is_counted(self):
+        # Regression test: traffic after the last whole-second boundary
+        # used to be silently truncated by the int() stop bound.
+        engine, network = make_network()
+        a, b = endpoints(2)
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: None)
+        msg = Probe(sender=a, config_id=1, seq=1)
+        engine.run(until=2.5)  # mid-second
+        network.send(a, b, msg)
+        engine.run()
+        tx, rx = network.per_second_rates(a, end=engine.now)
+        assert len(tx) == 3  # seconds 0, 1, and the partial 2.x
+        assert tx[2] == pytest.approx(wire_size(msg) / 1024.0)
+
+    def test_whole_second_window_unchanged(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: None)
+        network.send(a, b, Probe(sender=a, config_id=1, seq=1))
+        engine.run()
+        engine.run(until=3.0)
+        tx, _ = network.per_second_rates(a, end=3.0)
+        assert len(tx) == 3
+        assert tx[0] > 0 and tx[1] == 0 and tx[2] == 0
