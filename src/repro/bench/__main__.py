@@ -10,6 +10,12 @@ and runs.
 (see :mod:`repro.bench.compare`): per-case wall/throughput/bytes deltas,
 a configurable throughput-regression threshold, and an optional strict
 determinism check — the regression gate CI runs on every PR.
+
+``--budget PATTERN=SECONDS`` (repeatable, on both the run and compare
+forms) turns wall-clock expectations into alarms: any selected case whose
+name contains ``PATTERN`` and whose wall time exceeds the budget makes
+the invocation exit nonzero.  CI uses this to pin the n=1000 operating
+points to an absolute time box.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.bench.compare import main as compare_main
+from repro.bench.compare import budget_breaches, main as compare_main, parse_budgets
 from repro.bench.runner import BenchRunner, build_report, render_report, write_report
 from repro.bench.specs import SUITES, suite_specs
 
@@ -70,12 +76,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "case's alloc_peak_bytes; roughly doubles wall time",
     )
     parser.add_argument(
+        "--budget",
+        action="append",
+        default=[],
+        metavar="PATTERN=SECONDS",
+        help="fail the run when a selected case whose name contains "
+        "PATTERN exceeds SECONDS of wall time (repeatable)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list the selected cases and exit"
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     args = parser.parse_args(argv)
+    try:
+        budgets = parse_budgets(args.budget)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
     specs = suite_specs(args.suite, scale=args.scale)
     if args.filter:
@@ -98,6 +117,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = build_report(args.suite, args.scale, cases)
     out = write_report(report, args.out or f"BENCH_{args.suite}.json")
     print(f"wrote {len(cases)} cases to {out}")
+    breaches = budget_breaches(report["cases"], budgets)
+    if breaches:
+        for breach in breaches:
+            print(f"FAIL: {breach}")
+        return 1
     return 0
 
 

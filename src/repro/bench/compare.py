@@ -13,8 +13,17 @@ bytes-sent deltas.  Two kinds of problems are detected:
   Virtual-time fields are machine-independent: the committed
   ``BENCH_quick.json`` must replay byte-identically anywhere.
 
-The process exit code encodes the verdict: 0 clean, 1 regression (or
-drift when ``--require-determinism`` is set), 2 usage/IO error.
+A third check guards absolute cost rather than relative change:
+**wall-clock budgets** (``--budget PATTERN=SECONDS``, repeatable) fail any
+case in NEW whose name contains ``PATTERN`` and whose ``wall_s`` exceeds
+the budget.  Regression thresholds are ratios, so a case that was always
+slow passes them; budgets are how CI pins "the n=1000 cases must stay
+under a minute" style guarantees.  A pattern matching no case is an error
+(it usually means a renamed case silently un-gated the budget).
+
+The process exit code encodes the verdict: 0 clean, 1 regression /
+budget breach (or drift when ``--require-determinism`` is set), 2
+usage/IO error.
 """
 
 from __future__ import annotations
@@ -26,7 +35,64 @@ from typing import Optional, Sequence
 from repro.analysis.report import render_table
 from repro.bench.runner import NONDETERMINISTIC_FIELDS
 
-__all__ = ["CaseDelta", "compare_reports", "render_comparison"]
+__all__ = [
+    "CaseDelta",
+    "compare_reports",
+    "render_comparison",
+    "parse_budgets",
+    "budget_breaches",
+]
+
+
+def parse_budgets(specs: Sequence[str]) -> list:
+    """Parse repeated ``PATTERN=SECONDS`` budget flags.
+
+    Returns ``[(pattern, seconds), ...]``; raises ``ValueError`` on a
+    malformed spec so CLIs can report it as a usage error.
+    """
+    budgets = []
+    for spec in specs:
+        pattern, sep, seconds = spec.rpartition("=")
+        if not sep or not pattern:
+            raise ValueError(f"budget {spec!r} is not of the form PATTERN=SECONDS")
+        try:
+            limit = float(seconds)
+        except ValueError:
+            raise ValueError(f"budget {spec!r} has a non-numeric limit {seconds!r}")
+        if limit <= 0:
+            raise ValueError(f"budget {spec!r} must be positive")
+        budgets.append((pattern, limit))
+    return budgets
+
+
+def budget_breaches(cases: Sequence[dict], budgets: Sequence[tuple]) -> list:
+    """Check case wall times against budgets; returns failure messages.
+
+    A budget applies to every case whose name contains its pattern.  A
+    pattern that matches nothing is itself a failure: a renamed or removed
+    case must not silently un-gate its budget.
+    """
+    failures = []
+    for pattern, limit in budgets:
+        matched = [case for case in cases if pattern in case.get("name", "")]
+        if not matched:
+            failures.append(f"budget {pattern}={limit:g}s matched no cases")
+            continue
+        for case in matched:
+            wall = case.get("wall_s")
+            if not isinstance(wall, (int, float)) or wall <= 0:
+                # A budgeted case without a usable wall time must not pass
+                # vacuously — same no-silent-ungating rule as above.
+                failures.append(
+                    f"budget {pattern}={limit:g}s: case {case['name']!r} "
+                    f"has no usable wall_s ({wall!r})"
+                )
+            elif wall > limit:
+                failures.append(
+                    f"budget breach: {case['name']} took {wall:.2f}s "
+                    f"(budget {limit:g}s)"
+                )
+    return failures
 
 
 class CaseDelta:
@@ -167,7 +233,20 @@ def main(argv: Sequence[str]) -> int:
         help="exit nonzero when any deterministic field differs "
         "(wall-time and memory fields are always excluded)",
     )
+    parser.add_argument(
+        "--budget",
+        action="append",
+        default=[],
+        metavar="PATTERN=SECONDS",
+        help="fail any NEW case whose name contains PATTERN and whose "
+        "wall_s exceeds SECONDS (repeatable)",
+    )
     args = parser.parse_args(argv)
+    try:
+        budgets = parse_budgets(args.budget)
+    except ValueError as exc:
+        print(exc)
+        return 2
 
     reports = []
     for path in (args.old, args.new):
@@ -192,6 +271,7 @@ def main(argv: Sequence[str]) -> int:
     ]
     if regressions:
         failures.append(f"throughput regressions: {', '.join(regressions)}")
+    failures.extend(budget_breaches(reports[1].get("cases", []), budgets))
     if args.require_determinism:
         drifted = [d.name for d in comparison["deltas"] if d.drifted_fields]
         if drifted:

@@ -20,6 +20,18 @@ __all__ = ["BenchSpec", "SUITES", "suite_specs"]
 SCENARIOS = ("bootstrap", "crash", "packet_loss")
 
 
+def _format_param(value) -> str:
+    """Stable, filename-friendly rendering of one param value.
+
+    Dict-valued params (e.g. ``settings`` overrides) are flattened to
+    ``key:value`` pairs in sorted order so case names stay deterministic
+    and greppable.
+    """
+    if isinstance(value, dict):
+        return "+".join(f"{k}:{value[k]}" for k in sorted(value))
+    return str(value)
+
+
 @dataclass
 class BenchSpec:
     """One benchmark case.
@@ -55,7 +67,9 @@ class BenchSpec:
     @property
     def name(self) -> str:
         tags = "".join(
-            f"/{k}={v}" for k, v in sorted(self.params.items()) if not k.endswith("timeout")
+            f"/{k}={_format_param(v)}"
+            for k, v in sorted(self.params.items())
+            if not k.endswith("timeout")
         )
         return f"{self.scenario}/{self.system}/n{self.n}/s{self.seed}{tags}"
 
@@ -77,6 +91,16 @@ def quick_suite() -> list:
         BenchSpec("bootstrap", "rapid-c", 16, seed=1),
         BenchSpec("bootstrap", "memberlist", 16, seed=1),
         BenchSpec("crash", "rapid", 16, seed=1, params={"failures": 3}),
+        # Consensus-heavy gate for the gossip dissemination path: forcing
+        # gossip mode at small N exercises delta vote bundles, convergence
+        # stop, and the epidemic alert relay on every CI run.
+        BenchSpec(
+            "crash",
+            "rapid",
+            24,
+            seed=2,
+            params={"failures": 6, "settings": {"broadcast_mode": "gossip"}},
+        ),
         BenchSpec("crash", "memberlist", 16, seed=1, params={"failures": 3}),
         BenchSpec(
             "packet_loss",
@@ -91,9 +115,10 @@ def quick_suite() -> list:
 def full_suite() -> list:
     """Paper-shaped suite: larger clusters, more systems, repeated seeds.
 
-    Includes the paper's n=1000 operating point (section 7 runs 1000-2000
-    processes): the simulator's hot-path overhaul makes these cases a
-    matter of seconds-to-minutes of wall time rather than hours.
+    Covers the paper's full operating range (section 7 runs 1000-2000
+    processes): the simulator hot-path overhaul made n=1000 a matter of
+    seconds, and gossip-counted consensus dissemination carries the suite
+    to the n=2000 end point (minutes of wall time, not hours).
     """
     specs: list = []
     for seed in (1, 2, 3):
@@ -103,9 +128,11 @@ def full_suite() -> list:
         BenchSpec("bootstrap", "rapid", 256, seed=1),
         BenchSpec("bootstrap", "rapid", 512, seed=1),
         BenchSpec("bootstrap", "rapid", 1000, seed=1),
+        BenchSpec("bootstrap", "rapid", 2000, seed=1),
         BenchSpec("crash", "rapid", 256, seed=1, params={"failures": 8}),
         BenchSpec("crash", "rapid", 512, seed=1, params={"failures": 16}),
         BenchSpec("crash", "rapid", 1000, seed=1, params={"failures": 16}),
+        BenchSpec("crash", "rapid", 2000, seed=1, params={"failures": 16}),
         BenchSpec("bootstrap", "rapid-c", 32, seed=1),
         BenchSpec("bootstrap", "memberlist", 32, seed=1),
         BenchSpec("bootstrap", "zookeeper", 32, seed=1),

@@ -11,8 +11,12 @@ counting step.  Two interchangeable broadcasters are provided:
   originator sends to ``fanout`` random peers; every first-time receiver
   relays onward while a hop budget lasts.  O(log N) latency, load spread
   over the whole cluster.
+* :class:`AdaptiveBroadcaster` — picks between the two per view: unicast
+  below a membership-size threshold (one message delay, cheap at small N),
+  gossip at or above it (bounded per-node fan-out at large N).  This is the
+  :data:`~repro.core.settings.BroadcastMode.AUTO` substrate.
 
-Both deliver the payload locally as well, so a node always processes its own
+All deliver the payload locally as well, so a node always processes its own
 broadcasts through the same code path as everyone else's.
 """
 
@@ -25,7 +29,13 @@ from repro.core.messages import GossipEnvelope
 from repro.core.node_id import Endpoint
 from repro.runtime.base import Runtime
 
-__all__ = ["Broadcaster", "UnicastBroadcaster", "GossipBroadcaster", "make_fanout"]
+__all__ = [
+    "Broadcaster",
+    "UnicastBroadcaster",
+    "GossipBroadcaster",
+    "AdaptiveBroadcaster",
+    "make_fanout",
+]
 
 Deliver = Callable[[Endpoint, Any], None]
 
@@ -102,7 +112,11 @@ class GossipBroadcaster(Broadcaster):
 
     ``hops`` defaults to ``ceil(log2(N)) + 3`` relays, enough for an
     epidemic with the default fanout to reach all members with high
-    probability; duplicate message ids are dropped.
+    probability; duplicates are dropped on the ``(origin, message_id)``
+    key, where ``message_id`` is a per-origin sequence number.  The id is
+    deterministic — same-seed runs must replay identically across
+    interpreter invocations, so nothing derived from the builtin
+    ``hash()`` (which varies with ``PYTHONHASHSEED``) may reach the wire.
     """
 
     def __init__(
@@ -134,15 +148,17 @@ class GossipBroadcaster(Broadcaster):
         return int(math.ceil(math.log2(n))) + 3
 
     def broadcast(self, payload: Any) -> None:
+        # The counter is never reset (not even on view changes) so the
+        # (origin, id) dedup key stays unique for the broadcaster's
+        # lifetime.
         self._next_id += 1
-        message_id = hash((str(self.runtime.addr), self._next_id)) & 0xFFFFFFFFFFFF
         envelope = GossipEnvelope(
             sender=self.runtime.addr,
-            message_id=message_id,
+            message_id=self._next_id,
             hops_left=self._hops(),
             payload=payload,
         )
-        self._seen.add(message_id)
+        self._seen.add((self.runtime.addr, self._next_id))
         self.deliver(self.runtime.addr, payload)
         self._relay(envelope)
 
@@ -150,9 +166,10 @@ class GossipBroadcaster(Broadcaster):
         if not isinstance(envelope, GossipEnvelope):
             self.deliver(src, envelope)
             return
-        if envelope.message_id in self._seen:
+        key = (envelope.sender, envelope.message_id)
+        if key in self._seen:
             return
-        self._seen.add(envelope.message_id)
+        self._seen.add(key)
         self.deliver(envelope.sender, envelope.payload)
         if envelope.hops_left > 0:
             self._relay(
@@ -170,3 +187,50 @@ class GossipBroadcaster(Broadcaster):
             return
         count = min(self.fanout, len(peers))
         self._fanout(self.runtime.rng.sample(peers, count), envelope)
+
+
+class AdaptiveBroadcaster(Broadcaster):
+    """Scale-adaptive substrate: unicast small views, gossip large ones.
+
+    Both substrates are kept membership-current so the switch at
+    ``threshold`` is seamless in either direction (a shrinking cluster
+    falls back to unicast).  Inbound traffic is dispatched on the wire
+    format rather than the locally active substrate: during a view change
+    peers may disagree about the mode for a moment, and a
+    :class:`~repro.core.messages.GossipEnvelope` must be relayed no
+    matter which side of the threshold this node currently sits on.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        deliver: Deliver,
+        threshold: int,
+        fanout: int = 8,
+        hops: Optional[int] = None,
+    ) -> None:
+        self.threshold = threshold
+        self._unicast = UnicastBroadcaster(runtime, deliver)
+        self._gossip = GossipBroadcaster(runtime, deliver, fanout=fanout, hops=hops)
+        self._active: Broadcaster = self._unicast
+
+    def set_membership(self, members: Sequence[Endpoint]) -> None:
+        members = tuple(members)
+        self._unicast.set_membership(members)
+        self._gossip.set_membership(members)
+        self._active = (
+            self._gossip if len(members) >= self.threshold else self._unicast
+        )
+
+    @property
+    def gossip_active(self) -> bool:
+        return self._active is self._gossip
+
+    def broadcast(self, payload: Any) -> None:
+        self._active.broadcast(payload)
+
+    def handle(self, src: Endpoint, envelope: Any) -> None:
+        if isinstance(envelope, GossipEnvelope):
+            self._gossip.handle(src, envelope)
+        else:
+            self._unicast.handle(src, envelope)

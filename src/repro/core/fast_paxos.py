@@ -8,6 +8,26 @@ bitwise OR, so any process that observes a proposal endorsed by at least
 and no further communication: "the VC protocol converges simply by counting
 the number of identical CD proposals".
 
+Dissemination is scale-adaptive.  Below the gossip threshold each voter
+broadcasts its aggregate once and repairs loss with periodic gossip — one
+message delay in the common case, O(N) messages per voter.  At or above the
+threshold (``RapidSettings.use_gossip``) the gossip counting step *is* the
+dissemination path, as in the paper's large deployments: no initial
+broadcast storm, only periodic pushes of **delta bundles** — each peer is
+sent only the proposals/bitmap bits it has not been shown yet — to
+``gossip_fanout`` random peers.  Aggregates compound bitwise-OR along the
+way, so every vote reaches every node in O(log N) rounds and a view change
+costs O(N · log N · fanout) VoteBundle deliveries instead of the O(N²) an
+all-to-all broadcast would take.  Ticking stops once the local aggregate has
+converged (no new bits learned for ``gossip_convergence_ticks`` intervals,
+or a quorum reached); a straggler whose push teaches us nothing is repaired
+reactively with a delta of the bits it is missing.
+
+Quorum counting is incremental: each proposal's endorsement count is
+maintained as bits are merged (``new = bitmap & ~old``), so a quorum check
+is O(changed bits) per merge rather than an O(N-bit) popcount scan of every
+bitmap on every message.
+
 Because cut detection agrees almost everywhere, the fast path is the common
 case.  If votes conflict or too many are lost, a staggered timeout sends
 nodes into the classical Paxos recovery path (:mod:`repro.core.paxos`),
@@ -95,6 +115,19 @@ class FastPaxos:
         self._fanout = make_fanout(runtime)
         self.my_vote: Optional[Proposal] = None
         self.votes: dict[Proposal, int] = {}
+        # Incremental popcounts of `votes` bitmaps: maintained by _merge so
+        # quorum checks never rescan an N-bit bitmap.
+        self._counts: dict[Proposal, int] = {}
+        #: True when this view disseminates votes by gossip (delta bundles,
+        #: no initial broadcast storm) rather than one aggregate broadcast.
+        self.gossip_mode = settings.use_gossip(self.n)
+        # Per-peer dissemination ledger (gossip mode): bits each peer has
+        # been shown by us or has shown us, so pushes carry only deltas.
+        self._shown: dict[Endpoint, dict[Proposal, int]] = {}
+        self._stale_ticks = 0
+        self._learned_since_tick = False
+        self._m_bundles_tx = self.metrics.counter("consensus.vote_bundles_sent")
+        self._m_bundles_rx = self.metrics.counter("consensus.vote_bundles_received")
         self.decided = False
         self.decision: Optional[Proposal] = None
         self._fallback_timer = None
@@ -132,7 +165,12 @@ class FastPaxos:
         self.metrics.counter("consensus.votes_cast").inc()
         self.paxos.register_fast_round_vote(proposal)
         self._merge(proposal, 1 << self._index[self.runtime.addr])
-        self._send_aggregate()
+        if self.gossip_mode:
+            # No broadcast storm at scale: push a first round of deltas
+            # now, then let the gossip ticks carry the counting step.
+            self._push_deltas()
+        else:
+            self._send_aggregate()
         self._arm_fallback()
         self._arm_gossip()
         self._check_quorum()
@@ -152,22 +190,76 @@ class FastPaxos:
                 self.paxos.handle(src, msg)
 
     def _on_votes(self, msg: VoteBundle) -> None:
-        if self.decided or msg.config_id != self.config_id:
+        if msg.config_id != self.config_id:
             return
-        for proposal, bitmap in zip(msg.proposals, msg.bitmaps):
-            self._merge(proposal, bitmap)
+        if msg.sender != self.runtime.addr:
+            # Own broadcasts are delivered locally too; only bundles that
+            # crossed the wire count, so tx and rx stay reconcilable.
+            self._m_bundles_rx.inc()
+        if self.decided:
+            if self.gossip_mode and msg.sender != self.runtime.addr:
+                # A peer still gossiping votes for a round we decided is a
+                # straggler; hand it the decision directly (the same learn
+                # message RapidNode uses to repair laggards of *past*
+                # configurations).  One small reply per incoming bundle,
+                # and the sender stops gossiping the moment it adopts it.
+                self.runtime.send(
+                    msg.sender,
+                    Decision(
+                        sender=self.runtime.addr,
+                        config_id=self.config_id,
+                        value=self.decision,
+                    ),
+                )
+            return
+        learned = 0
+        if self.gossip_mode:
+            # Whatever the sender shows us, it evidently has: fold it into
+            # the per-peer ledger so we never push those bits back.
+            shown = self._shown.get(msg.sender)
+            if shown is None:
+                shown = self._shown[msg.sender] = {}
+            for proposal, bitmap in zip(msg.proposals, msg.bitmaps):
+                learned |= self._merge(proposal, bitmap)
+                shown[proposal] = shown.get(proposal, 0) | bitmap
+        else:
+            for proposal, bitmap in zip(msg.proposals, msg.bitmaps):
+                learned |= self._merge(proposal, bitmap)
+        if learned:
+            self._learned_since_tick = True
+            self._stale_ticks = 0
         self._arm_fallback()
         self._arm_gossip()
         self._check_quorum()
+        if self.gossip_mode and not self.decided and not learned:
+            # The sender is behind us (its push taught us nothing).  Repair
+            # it reactively with exactly the bits it is missing; the ledger
+            # update above makes this a one-shot reply, not a ping-pong.
+            reply = self._delta_for(msg.sender)
+            if reply is not None:
+                self.runtime.send(msg.sender, reply)
+                self._m_bundles_tx.inc()
 
-    def _merge(self, proposal: Proposal, bitmap: int) -> None:
-        self.votes[proposal] = self.votes.get(proposal, 0) | bitmap
+    def _merge(self, proposal: Proposal, bitmap: int) -> int:
+        """OR ``bitmap`` into the aggregate; returns the newly set bits.
+
+        The endorsement count is maintained incrementally from the new
+        bits, so callers (and :meth:`_check_quorum`) never popcount a full
+        N-bit bitmap on the hot path.
+        """
+        old = self.votes.get(proposal, 0)
+        new = bitmap & ~old
+        if new:
+            self.votes[proposal] = old | bitmap
+            self._counts[proposal] = self._counts.get(proposal, 0) + new.bit_count()
+        return new
 
     def _check_quorum(self) -> None:
         if self.decided:
             return
-        for proposal, bitmap in self.votes.items():
-            if bitmap.bit_count() >= self.fast_quorum:
+        quorum = self.fast_quorum
+        for proposal, count in self._counts.items():
+            if count >= quorum:
                 self._decide(proposal)
                 return
 
@@ -207,16 +299,17 @@ class FastPaxos:
         )
 
     def _most_endorsed(self) -> Optional[Proposal]:
-        if not self.votes:
+        if not self._counts:
             return None
-        return max(self.votes.items(), key=lambda kv: (kv[1].bit_count(), kv[0]))[0]
+        return max(self._counts.items(), key=lambda kv: (kv[1], kv[0]))[0]
 
     # --------------------------------------------------------------- gossip
 
     def _arm_gossip(self) -> None:
-        """Periodically push our aggregate to a few random peers until the
-        round decides; this is the paper's gossip-based counting step and
-        also repairs vote loss under UDP semantics."""
+        """Periodically push votes to a few random peers until the round
+        decides; this is the paper's gossip-based counting step.  In gossip
+        mode it is the *primary* dissemination path (delta bundles); in
+        unicast mode it only repairs vote loss under UDP semantics."""
         if self.decided or self._gossip_timer is not None:
             return
         self._gossip_timer = self.runtime.schedule(
@@ -227,13 +320,66 @@ class FastPaxos:
         self._gossip_timer = None
         if self.decided or not self.votes:
             return
-        bundle = self._aggregate()
-        peers = self._peers
-        if peers:
-            count = min(self.settings.gossip_fanout, len(peers))
-            self._fanout(self.runtime.rng.sample(peers, count), bundle)
+        if self.gossip_mode:
+            if self._learned_since_tick:
+                self._learned_since_tick = False
+                self._stale_ticks = 0
+            else:
+                self._stale_ticks += 1
+                if self._stale_ticks >= self.settings.gossip_convergence_ticks:
+                    # Converged: nothing new learned for k intervals.  Stop
+                    # ticking — an incoming bundle with new bits re-arms us,
+                    # and the fallback timer still guards liveness.
+                    return
+            self._push_deltas()
+        else:
+            bundle = self._aggregate()
+            peers = self._peers
+            if peers:
+                count = min(self.settings.gossip_fanout, len(peers))
+                self._fanout(self.runtime.rng.sample(peers, count), bundle)
+                self._m_bundles_tx.inc(count)
         self._gossip_timer = self.runtime.schedule(
             self.settings.gossip_interval, self._gossip_tick
+        )
+
+    def _push_deltas(self) -> None:
+        """Send each of ``gossip_fanout`` random peers the bits it lacks."""
+        peers = self._peers
+        if not peers:
+            return
+        count = min(self.settings.gossip_fanout, len(peers))
+        send = self.runtime.send
+        for peer in self.runtime.rng.sample(peers, count):
+            bundle = self._delta_for(peer)
+            if bundle is not None:
+                send(peer, bundle)
+                self._m_bundles_tx.inc()
+
+    def _delta_for(self, peer: Endpoint) -> Optional[VoteBundle]:
+        """Bundle of vote bits ``peer`` has not been shown, or ``None``.
+
+        Marks the bits as shown optimistically; if the datagram is lost the
+        peer still converges through other gossip partners.
+        """
+        shown = self._shown.get(peer)
+        if shown is None:
+            shown = self._shown[peer] = {}
+        proposals = []
+        deltas = []
+        for proposal, bitmap in self.votes.items():
+            new = bitmap & ~shown.get(proposal, 0)
+            if new:
+                proposals.append(proposal)
+                deltas.append(new)
+                shown[proposal] = shown.get(proposal, 0) | bitmap
+        if not proposals:
+            return None
+        return VoteBundle(
+            sender=self.runtime.addr,
+            config_id=self.config_id,
+            proposals=tuple(proposals),
+            bitmaps=tuple(deltas),
         )
 
     def _aggregate(self) -> VoteBundle:
@@ -246,6 +392,7 @@ class FastPaxos:
         )
 
     def _send_aggregate(self) -> None:
+        self._m_bundles_tx.inc(len(self._peers))
         self._broadcast(self._aggregate())
 
     # --------------------------------------------------------------- decide

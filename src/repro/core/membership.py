@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterable, Optional
 from repro.core.configuration import Configuration
 from repro.core.cut_detector import MultiNodeCutDetector
 from repro.core.broadcaster import (
+    AdaptiveBroadcaster,
     Broadcaster,
     GossipBroadcaster,
     UnicastBroadcaster,
@@ -143,6 +144,15 @@ class RapidNode:
         if self.settings.broadcast_mode == BroadcastMode.GOSSIP:
             self.broadcaster: Broadcaster = GossipBroadcaster(
                 runtime, self._deliver_broadcast, fanout=self.settings.gossip_fanout
+            )
+        elif self.settings.broadcast_mode == BroadcastMode.AUTO:
+            # Scale-adaptive default: unicast below gossip_threshold
+            # members, epidemic gossip at or above it.
+            self.broadcaster = AdaptiveBroadcaster(
+                runtime,
+                self._deliver_broadcast,
+                threshold=self.settings.gossip_threshold,
+                fanout=self.settings.gossip_fanout,
             )
         else:
             self.broadcaster = UnicastBroadcaster(runtime, self._deliver_broadcast)

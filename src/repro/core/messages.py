@@ -201,6 +201,11 @@ class VoteBundle:
     voted for ``proposals[i]``.  Merging bundles is a bitwise OR, so the
     aggregate only grows — exactly the paper's "gossip to disseminate and
     aggregate a bitmap of votes for each unique proposal".
+
+    A bundle need not carry a node's whole aggregate: in gossip mode the
+    sender transmits **delta bundles** holding only the bits the recipient
+    has not been shown yet (see :mod:`repro.core.fast_paxos`).  OR-merge
+    semantics make full and delta bundles indistinguishable to a receiver.
     """
 
     sender: Endpoint
@@ -267,7 +272,13 @@ class Phase2b:
 
 @dataclass(frozen=True)
 class GossipEnvelope:
-    """Epidemic broadcast wrapper: payload plus dedup id and hop budget."""
+    """Epidemic broadcast wrapper: payload plus dedup id and hop budget.
+
+    ``message_id`` is a per-origin sequence number; receivers deduplicate
+    on ``(sender, message_id)``.  It is deterministic by construction so
+    same-seed simulations replay identically regardless of
+    ``PYTHONHASHSEED``.
+    """
 
     sender: Endpoint
     message_id: int

@@ -117,7 +117,11 @@ class PaxosInstance:
         # Coordinator state.
         self._round = 1
         self._phase1b: dict[tuple, list] = {}
+        self._phase1b_senders: dict[tuple, set] = {}
         self._phase2b: dict[tuple, dict] = {}
+        # Per-rank {value: acceptor count}, maintained incrementally so a
+        # recovery at large N never rescans the acceptor map per message.
+        self._phase2b_counts: dict[tuple, dict] = {}
         self.decided = False
         self.decision: Optional[Proposal] = None
 
@@ -144,6 +148,7 @@ class PaxosInstance:
         self._round = round_number
         rank = (round_number, self.my_index)
         self._phase1b.setdefault(rank, [])
+        self._phase1b_senders.setdefault(rank, set())
         self._broadcast(Phase1a(sender=self.addr, config_id=self.config_id, rank=rank))
         return rank
 
@@ -180,8 +185,10 @@ class PaxosInstance:
         responses = self._phase1b.get(msg.rank)
         if responses is None:
             return  # not a rank we are coordinating
-        if any(r.sender == msg.sender for r in responses):
+        senders = self._phase1b_senders[msg.rank]
+        if msg.sender in senders:
             return
+        senders.add(msg.sender)
         responses.append(msg)
         if len(responses) == classic_quorum_size(self.n):
             value = select_recovery_value(responses, self.n, self.my_proposal)
@@ -210,9 +217,16 @@ class PaxosInstance:
 
     def _on_phase2b(self, src: Endpoint, msg: Phase2b) -> None:
         votes = self._phase2b.setdefault(msg.rank, {})
+        counts = self._phase2b_counts.setdefault(msg.rank, {})
+        previous = votes.get(msg.sender)
+        if previous is not None:
+            if previous == msg.value:
+                return  # duplicate accept; the count already includes it
+            counts[previous] -= 1
         votes[msg.sender] = msg.value
-        matching = [v for v in votes.values() if v == msg.value]
-        if len(matching) >= classic_quorum_size(self.n):
+        count = counts.get(msg.value, 0) + 1
+        counts[msg.value] = count
+        if count >= classic_quorum_size(self.n):
             self._decide(msg.value)
 
     def _decide(self, value: Proposal) -> None:

@@ -14,10 +14,19 @@ __all__ = ["RapidSettings", "BroadcastMode"]
 
 
 class BroadcastMode:
-    """How alert and vote messages are disseminated cluster-wide."""
+    """How alert and vote messages are disseminated cluster-wide.
+
+    ``AUTO`` (the default) picks per view: unicast below
+    ``gossip_threshold`` members — one message delay, O(N) messages per
+    broadcast — and epidemic gossip at or above it, where the O(N²)
+    aggregate message volume of everyone unicasting to everyone would
+    dominate the run (the paper's large-scale deployments use the gossip
+    counting step for exactly this reason).
+    """
 
     UNICAST_ALL = "unicast-all"
     GOSSIP = "gossip"
+    AUTO = "auto"
 
 
 @dataclass
@@ -57,7 +66,15 @@ class RapidSettings:
         observers echo REMOVE alerts (section 4.2, "reinforcements").
     gossip_interval / gossip_fanout:
         Parameters of the epidemic broadcast used for alert dissemination
-        and consensus vote counting when ``broadcast_mode`` is ``GOSSIP``.
+        and consensus vote counting when gossip is active (``GOSSIP``
+        mode, or ``AUTO`` mode at or above ``gossip_threshold``).
+    gossip_threshold:
+        Cluster size at which ``AUTO`` switches from unicast broadcast to
+        gossip, for both alert dissemination and consensus vote counting.
+    gossip_convergence_ticks:
+        Consensus vote gossip stops ticking after this many consecutive
+        intervals without learning a new vote bit (the aggregate has
+        converged); any later bundle that teaches new bits re-arms it.
     join_timeout:
         Seconds a joiner waits for a join to complete before retrying.
     view_probe_interval:
@@ -81,9 +98,11 @@ class RapidSettings:
 
     reinforcement_timeout: float = 10.0
 
-    broadcast_mode: str = BroadcastMode.UNICAST_ALL
+    broadcast_mode: str = BroadcastMode.AUTO
     gossip_interval: float = 0.2
     gossip_fanout: int = 8
+    gossip_threshold: int = 128
+    gossip_convergence_ticks: int = 5
 
     join_timeout: float = 5.0
     view_probe_interval: float = 5.0
@@ -100,6 +119,24 @@ class RapidSettings:
             )
         if self.k < 1:
             raise ValueError("k must be positive")
+        if self.broadcast_mode not in (
+            BroadcastMode.UNICAST_ALL,
+            BroadcastMode.GOSSIP,
+            BroadcastMode.AUTO,
+        ):
+            raise ValueError(f"unknown broadcast mode {self.broadcast_mode!r}")
+        if self.gossip_threshold < 1:
+            raise ValueError("gossip_threshold must be positive")
+        if self.gossip_convergence_ticks < 1:
+            raise ValueError("gossip_convergence_ticks must be positive")
+
+    def use_gossip(self, n: int) -> bool:
+        """Whether a view of ``n`` members disseminates by gossip."""
+        if self.broadcast_mode == BroadcastMode.GOSSIP:
+            return True
+        if self.broadcast_mode == BroadcastMode.AUTO:
+            return n >= self.gossip_threshold
+        return False
 
     def scaled(self, **overrides) -> "RapidSettings":
         """Return a copy with the given fields replaced."""

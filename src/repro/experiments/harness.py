@@ -224,9 +224,18 @@ SYSTEMS = {
 
 
 def harness_for(system: str, seed: int = 0, **kwargs):
-    """Construct the harness for a system name used in the paper's plots."""
+    """Construct the harness for a system name used in the paper's plots.
+
+    ``settings`` may be passed as a plain dict of
+    :class:`~repro.core.settings.RapidSettings` field overrides — the form
+    benchmark specs use, since their params must stay JSON-serializable —
+    and is instantiated here for the Rapid harnesses.
+    """
     try:
         factory = SYSTEMS[system]
     except KeyError:
         raise ValueError(f"unknown system {system!r}; choose from {sorted(SYSTEMS)}")
+    settings = kwargs.get("settings")
+    if isinstance(settings, dict):
+        kwargs["settings"] = RapidSettings(**settings)
     return factory(seed=seed, **kwargs)

@@ -18,6 +18,7 @@ import math
 from collections import defaultdict
 from typing import Any, Callable, Optional, Sequence
 
+from repro.core.messages import VoteBundle
 from repro.core.node_id import Endpoint
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
@@ -69,6 +70,25 @@ _SIZERS: dict[type, Callable[[Any], int]] = {
     dict: lambda value: 2
     + sum(_payload_size(k) + _payload_size(v) for k, v in value.items()),
 }
+
+
+def _vote_bundle_size(value: VoteBundle) -> int:
+    """Size a VoteBundle with width-aware bitmap encoding.
+
+    Vote bitmaps are arbitrary-precision integers — one bit per membership
+    index — so at n=2000 a dense bitmap is ~250 wire bytes, not the flat 8
+    the generic number rule would charge.  Delta bundles (sparse bitmaps)
+    correspondingly shrink with their true bit width.  Small-cluster
+    bundles (bit_length <= 64) size identically to the generic rule, so
+    existing small-N traces are unaffected.
+    """
+    total = 2 + _payload_size(value.sender) + 8  # fields + config_id
+    total += 2 + sum(_payload_size(p) for p in value.proposals)
+    total += 2 + sum(max(8, (b.bit_length() + 7) // 8) for b in value.bitmaps)
+    return total
+
+
+_SIZERS[VoteBundle] = _vote_bundle_size
 
 
 def _payload_size(value: Any) -> int:

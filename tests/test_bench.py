@@ -159,7 +159,31 @@ class TestCli:
     def test_full_suite_includes_paper_operating_points(self):
         names = [spec.name for spec in suite_specs("full")]
         assert "bootstrap/rapid/n1000/s1" in names
+        assert "bootstrap/rapid/n2000/s1" in names
+        assert "crash/rapid/n2000/s1/failures=16" in names
         assert any(name.startswith("crash/rapid/n512") for name in names)
+
+    def test_quick_suite_gates_gossip_consensus(self):
+        names = [spec.name for spec in suite_specs("quick")]
+        assert any("broadcast_mode:gossip" in name for name in names)
+
+    def test_run_budget_breach_fails(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "b.json"
+        args = [
+            "--suite", "quick", "--filter", "bootstrap/rapid/", "--quiet",
+            "--out", str(out),
+        ]
+        assert main(args + ["--budget", "bootstrap=1000"]) == 0
+        assert main(args + ["--budget", "bootstrap=0.000001"]) == 1
+        assert "budget breach" in capsys.readouterr().out
+
+    def test_run_budget_usage_errors(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        assert main(["--suite", "quick", "--list", "--budget", "oops"]) == 2
+        assert main(["--suite", "quick", "--list", "--budget", "a=-3"]) == 2
 
 
 class TestCompare:
@@ -268,6 +292,53 @@ class TestCompare:
         bad = self._report(tmp_path, "bad.json", [case])
         assert main(["compare", old, bad]) == 2
         assert "events_per_wall_s" in capsys.readouterr().out
+
+    def test_budget_breach_fails_compare(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        new = self._report(tmp_path, "new.json", [self._case("a", 1000.0)])
+        assert main(["compare", old, new, "--budget", "a=1"]) == 0
+        assert main(["compare", old, new, "--budget", "a=0.1"]) == 1
+        assert "budget breach" in capsys.readouterr().out
+
+    def test_budget_matching_no_case_fails(self, tmp_path, capsys):
+        # A renamed case must not silently un-gate its budget.
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        new = self._report(tmp_path, "new.json", [self._case("a", 1000.0)])
+        assert main(["compare", old, new, "--budget", "zzz=10"]) == 1
+        assert "matched no cases" in capsys.readouterr().out
+
+    def test_budget_with_unusable_wall_time_fails(self, tmp_path, capsys):
+        # A budgeted case whose wall_s is missing (schema drift, crashed
+        # case) must not pass vacuously.
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        case = self._case("a", 1000.0)
+        del case["wall_s"]
+        new = self._report(tmp_path, "new.json", [case])
+        assert main(["compare", old, new, "--budget", "a=10"]) == 1
+        assert "no usable wall_s" in capsys.readouterr().out
+
+    def test_budget_only_applies_to_new_report(self, tmp_path):
+        # Budgets gate the fresh run; a slow historical baseline is fine.
+        from repro.bench.__main__ import main
+
+        old = self._report(
+            tmp_path, "old.json", [self._case("a", 1000.0, extra={"wall_s": 99.0})]
+        )
+        new = self._report(tmp_path, "new.json", [self._case("a", 1000.0)])
+        assert main(["compare", old, new, "--budget", "a=1"]) == 0
+
+    def test_malformed_budget_is_usage_error(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        old = self._report(tmp_path, "old.json", [self._case("a", 1000.0)])
+        assert main(["compare", old, old, "--budget", "a=fast"]) == 2
+        assert "non-numeric" in capsys.readouterr().out
 
     def test_real_reports_roundtrip_through_compare(self, tmp_path, capsys):
         from repro.bench.__main__ import main

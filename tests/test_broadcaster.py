@@ -1,0 +1,141 @@
+"""Dissemination substrates: gossip determinism and scale adaptation."""
+
+import random
+
+from repro.core.broadcaster import (
+    AdaptiveBroadcaster,
+    GossipBroadcaster,
+    UnicastBroadcaster,
+)
+from repro.core.membership import RapidNode
+from repro.core.messages import GossipEnvelope
+from repro.core.node_id import Endpoint
+from repro.core.settings import BroadcastMode, RapidSettings
+from repro.sim.cluster import endpoint_for
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.process import SimRuntime
+
+
+class FakeRuntime:
+    """Captures sends; no broadcast capability, so fan-outs loop over send."""
+
+    def __init__(self, addr):
+        self.addr = addr
+        self.rng = random.Random(0)
+        self.sent = []
+
+    def send(self, dst, msg):
+        self.sent.append((dst, msg))
+
+
+def members(n):
+    return tuple(endpoint_for(i) for i in range(n))
+
+
+class TestGossipMessageIds:
+    def test_ids_are_deterministic_sequence_numbers(self):
+        """Ids must not depend on PYTHONHASHSEED: same-seed runs replay
+        identically across interpreter invocations."""
+        view = members(8)
+        envelopes = []
+        for _ in range(2):
+            runtime = FakeRuntime(view[0])
+            bcast = GossipBroadcaster(runtime, lambda src, msg: None, fanout=3)
+            bcast.set_membership(view)
+            bcast.broadcast("a")
+            bcast.broadcast("b")
+            envelopes.append([msg for _, msg in runtime.sent])
+        first, second = envelopes
+        assert [e.message_id for e in first] == [e.message_id for e in second]
+        assert sorted({e.message_id for e in first}) == [1, 2]
+
+    def test_counter_survives_view_changes(self):
+        runtime = FakeRuntime(members(4)[0])
+        bcast = GossipBroadcaster(runtime, lambda src, msg: None, fanout=2)
+        bcast.set_membership(members(4))
+        bcast.broadcast("a")
+        bcast.set_membership(members(5))
+        bcast.broadcast("b")
+        ids = {msg.message_id for _, msg in runtime.sent}
+        assert ids == {1, 2}  # never reused within one origin
+
+    def test_dedup_key_is_origin_scoped(self):
+        """Two origins using the same counter value must not collide."""
+        view = members(4)
+        delivered = []
+        runtime = FakeRuntime(view[0])
+        bcast = GossipBroadcaster(
+            runtime, lambda src, msg: delivered.append((src, msg)), fanout=2
+        )
+        bcast.set_membership(view)
+        for origin in (view[1], view[2]):
+            bcast.handle(
+                origin,
+                GossipEnvelope(sender=origin, message_id=1, hops_left=0, payload="p"),
+            )
+        assert [src for src, _ in delivered] == [view[1], view[2]]
+        # Replay of an already-seen (origin, id) is dropped.
+        bcast.handle(
+            view[1],
+            GossipEnvelope(sender=view[1], message_id=1, hops_left=0, payload="p"),
+        )
+        assert len(delivered) == 2
+
+
+class TestAdaptiveBroadcaster:
+    def test_switches_on_membership_size(self):
+        runtime = FakeRuntime(members(8)[0])
+        bcast = AdaptiveBroadcaster(
+            runtime, lambda src, msg: None, threshold=6, fanout=3
+        )
+        bcast.set_membership(members(4))
+        assert not bcast.gossip_active
+        bcast.broadcast("small")
+        assert all(not isinstance(m, GossipEnvelope) for _, m in runtime.sent)
+        assert len(runtime.sent) == 3  # unicast to every peer
+
+        runtime.sent.clear()
+        bcast.set_membership(members(8))
+        assert bcast.gossip_active
+        bcast.broadcast("large")
+        assert all(isinstance(m, GossipEnvelope) for _, m in runtime.sent)
+        assert len(runtime.sent) == 3  # gossip fanout, not all peers
+
+        runtime.sent.clear()
+        bcast.set_membership(members(4))  # shrink back below threshold
+        assert not bcast.gossip_active
+
+    def test_envelopes_handled_regardless_of_active_mode(self):
+        """During a mode disagreement a unicast-side node must still relay
+        gossip envelopes, and bare payloads must still deliver."""
+        view = members(8)
+        delivered = []
+        runtime = FakeRuntime(view[0])
+        bcast = AdaptiveBroadcaster(
+            runtime, lambda src, msg: delivered.append(msg), threshold=100, fanout=3
+        )
+        bcast.set_membership(view)
+        assert not bcast.gossip_active
+        bcast.handle(
+            view[1],
+            GossipEnvelope(sender=view[1], message_id=1, hops_left=2, payload="x"),
+        )
+        assert delivered == ["x"]
+        assert len(runtime.sent) == 3  # relayed onward despite unicast mode
+        bcast.handle(view[2], "bare")
+        assert delivered == ["x", "bare"]
+
+    def test_rapid_node_auto_mode_wires_adaptive_broadcaster(self):
+        engine = Engine()
+        network = Network(engine, seed=1)
+        runtime = SimRuntime(engine, network, endpoint_for(0), seed=1)
+        node = RapidNode(runtime, RapidSettings(), seeds=(endpoint_for(0),))
+        assert isinstance(node.broadcaster, AdaptiveBroadcaster)
+        assert node.broadcaster.threshold == node.settings.gossip_threshold
+        unicast_node = RapidNode(
+            SimRuntime(engine, network, endpoint_for(1), seed=1),
+            RapidSettings(broadcast_mode=BroadcastMode.UNICAST_ALL),
+            seeds=(endpoint_for(0),),
+        )
+        assert isinstance(unicast_node.broadcaster, UnicastBroadcaster)

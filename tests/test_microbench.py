@@ -7,15 +7,20 @@ current hardware delivers — so they catch catastrophic regressions
 on slow CI machines.  Skipped by default: tier-1 stays timing-free.
 """
 
+import random
 import time
 
 import pytest
 
-from repro.core.messages import Alert, AlertKind, BatchedAlerts, Probe
+from repro.core.fast_paxos import FastPaxos
+from repro.core.messages import Alert, AlertKind, BatchedAlerts, Change, Probe
 from repro.core.node_id import Endpoint
+from repro.core.settings import RapidSettings
+from repro.sim.cluster import endpoint_for
 from repro.sim.engine import Engine
 from repro.sim.latency import ConstantLatency
 from repro.sim.network import Network, wire_size
+from repro.sim.process import SimRuntime
 
 pytestmark = pytest.mark.microbench
 
@@ -79,6 +84,42 @@ class TestEngine:
         engine.run()
         per_s = rate(n, time.perf_counter() - start)
         assert per_s > 200_000, f"zero-delay path too slow: {per_s:.0f}/s"
+
+
+class TestConsensus:
+    def test_vote_merge_and_quorum_check_throughput(self):
+        """Merging one vote bitmap and re-checking the quorum must stay
+        O(changed bits), not an O(N-bit) popcount rescan per message: at
+        n=1024 even a pessimistic floor catches an accidental rescan."""
+        n = 1024
+        engine = Engine()
+        network = Network(engine, seed=1, latency=ConstantLatency(0.001))
+        members = tuple(endpoint_for(i) for i in range(n))
+        runtime = SimRuntime(engine, network, members[0], seed=1)
+        node = FastPaxos(
+            runtime=runtime,
+            members=members,
+            config_id=1,
+            settings=RapidSettings(),
+            broadcast=lambda msg: None,
+            on_decide=lambda value: None,
+        )
+        proposals = [
+            (Change(endpoint=Endpoint(f"10.99.0.{i}", 1), kind=AlertKind.REMOVE),)
+            for i in range(4)
+        ]
+        rng = random.Random(7)
+        # Bit positions capped below the fast quorum so no proposal ever
+        # decides: every iteration exercises the undecided hot path.
+        merges = [
+            (proposals[i % 4], 1 << rng.randrange(n // 2)) for i in range(40_000)
+        ]
+        start = time.perf_counter()
+        for proposal, bitmap in merges:
+            node._merge(proposal, bitmap)
+            node._check_quorum()
+        per_s = rate(len(merges), time.perf_counter() - start)
+        assert per_s > 100_000, f"merge+quorum too slow: {per_s:.0f}/s"
 
 
 class TestNetworkSend:
