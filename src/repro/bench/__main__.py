@@ -16,6 +16,11 @@ forms) turns wall-clock expectations into alarms: any selected case whose
 name contains ``PATTERN`` and whose wall time exceeds the budget makes
 the invocation exit nonzero.  CI uses this to pin the n=1000 operating
 points to an absolute time box.
+
+``--timeseries PATH`` additionally exports the plot-ready Figure 5-10
+series (view-size timeseries and per-node convergence ECDF) as
+long-format CSV; see :func:`repro.bench.runner.write_timeseries_csv` and
+``docs/REPRODUCING.md``.
 """
 
 from __future__ import annotations
@@ -25,7 +30,13 @@ import sys
 from typing import Optional, Sequence
 
 from repro.bench.compare import budget_breaches, main as compare_main, parse_budgets
-from repro.bench.runner import BenchRunner, build_report, render_report, write_report
+from repro.bench.runner import (
+    BenchRunner,
+    build_report,
+    render_report,
+    write_report,
+    write_timeseries_csv,
+)
 from repro.bench.specs import SUITES, suite_specs
 
 __all__ = ["main"]
@@ -76,6 +87,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "case's alloc_peak_bytes; roughly doubles wall time",
     )
     parser.add_argument(
+        "--timeseries",
+        default=None,
+        metavar="PATH",
+        help="also export the plot-ready Figure 5-10 series (view-size "
+        "timeseries, per-node convergence ECDF) as long-format CSV",
+    )
+    parser.add_argument(
         "--budget",
         action="append",
         default=[],
@@ -117,6 +135,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = build_report(args.suite, args.scale, cases)
     out = write_report(report, args.out or f"BENCH_{args.suite}.json")
     print(f"wrote {len(cases)} cases to {out}")
+    if args.timeseries:
+        ts = write_timeseries_csv(cases, args.timeseries)
+        print(f"wrote timeseries CSV to {ts}")
     breaches = budget_breaches(report["cases"], budgets)
     if breaches:
         for breach in breaches:

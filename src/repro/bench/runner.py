@@ -42,13 +42,14 @@ property the regression tests and ``python -m repro.bench compare`` pin.
 
 from __future__ import annotations
 
+import csv
 import json
 import platform
 import subprocess
 import sys
 import time
 import tracemalloc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -67,6 +68,7 @@ __all__ = [
     "NONDETERMINISTIC_FIELDS",
     "write_report",
     "render_report",
+    "write_timeseries_csv",
 ]
 
 SCHEMA = "repro.bench/v1"
@@ -109,6 +111,12 @@ class CaseResult:
     #: (only when the runner was built with ``track_alloc=True`` — tracing
     #: roughly doubles wall time, so it is off by default).
     alloc_peak_bytes: Optional[int] = None
+    #: Plot-ready series harvested from the scenario outcome (the
+    #: Figure 5-10 inputs: the view-size timeseries and the per-node
+    #: convergence times).  Kept off the JSON report — bulky and already
+    #: derivable — and exported on demand via :func:`write_timeseries_csv`
+    #: (``python -m repro.bench --timeseries out.csv``).
+    series: dict = field(default_factory=dict)
 
     @property
     def events_per_wall_s(self) -> float:
@@ -205,11 +213,16 @@ class BenchRunner:
                 "dropped": network.dropped_messages,
                 "bytes_sent": network.sent_bytes,
                 "bytes_received": network.received_bytes,
+                # Per-message-class breakdown (deterministic): what the
+                # traffic *is*, so wins like "3x fewer probe events" are
+                # attributable from the report alone.
+                "by_class": dict(sorted(network.class_counts.items())),
             },
             metrics=snapshot,
             result=_scalars(outcome),
             peak_rss_kb=peak_rss_kb,
             alloc_peak_bytes=alloc_peak,
+            series=_series(outcome),
         )
 
     def run(self, specs: Iterable[BenchSpec]) -> list:
@@ -314,6 +327,61 @@ def _headline(case: CaseResult) -> str:
             f" removed={result.get('removed_faulty')}"
         )
     return ""
+
+
+def _series(outcome: dict) -> dict:
+    """Harvest the plot-ready series a scenario outcome carries.
+
+    ``timeseries`` is the per-step ``(time, min, median, max)`` view-size
+    aggregate (Figures 1, 7-10); ``per_node_times`` maps endpoints to
+    first-convergence times (the Figure 6 ECDF input).
+    """
+    series: dict = {}
+    timeseries = outcome.get("timeseries")
+    if timeseries:
+        series["view_size"] = [tuple(row) for row in timeseries]
+    per_node = outcome.get("per_node_times")
+    if per_node:
+        series["node_convergence"] = {
+            str(ep): t for ep, t in sorted(per_node.items())
+        }
+    return series
+
+
+def write_timeseries_csv(cases: Sequence[CaseResult], path: str) -> Path:
+    """Write the Figure 5-10 series of every case as long-format CSV.
+
+    Columns are ``case, series, time, value``:
+
+    * ``view_size_min`` / ``view_size_med`` / ``view_size_max`` — the
+      per-step spread of believed cluster sizes (Figures 1 and 7-10);
+    * ``node_convergence_ecdf`` — ``time`` is a node's first convergence
+      time, ``value`` the cumulative fraction of nodes converged by then
+      (Figure 6; the maximum ``time`` is the Figure 5 bootstrap latency).
+
+    Rows are emitted in case order, then time order — deterministic for
+    same-seed runs, and directly consumable by any plotting tool.
+    """
+    out = Path(path)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["case", "series", "time", "value"])
+        for case in cases:
+            name = case.spec.name
+            for t, lo, med, hi in case.series.get("view_size", ()):
+                writer.writerow([name, "view_size_min", t, lo])
+                writer.writerow([name, "view_size_med", t, med])
+                writer.writerow([name, "view_size_max", t, hi])
+            times = sorted(
+                t
+                for t in case.series.get("node_convergence", {}).values()
+                if t is not None
+            )
+            for i, t in enumerate(times):
+                writer.writerow(
+                    [name, "node_convergence_ecdf", t, (i + 1) / len(times)]
+                )
+    return out
 
 
 def _scalars(outcome: dict) -> dict:

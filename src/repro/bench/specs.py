@@ -133,6 +133,17 @@ def full_suite() -> list:
         BenchSpec("crash", "rapid", 512, seed=1, params={"failures": 16}),
         BenchSpec("crash", "rapid", 1000, seed=1, params={"failures": 16}),
         BenchSpec("crash", "rapid", 2000, seed=1, params={"failures": 16}),
+        # Probe-heavy end point: a long lossy steady state at n=2000, where
+        # edge monitoring (not consensus) dominates the event budget — the
+        # probe wheel's target workload.  20 lossy processes (1%), 80%
+        # egress loss, 90 s observed after the fault.
+        BenchSpec(
+            "packet_loss",
+            "rapid",
+            2000,
+            seed=1,
+            params={"loss": 0.8, "direction": "egress", "observe_for": 90.0},
+        ),
         BenchSpec("bootstrap", "rapid-c", 32, seed=1),
         BenchSpec("bootstrap", "memberlist", 32, seed=1),
         BenchSpec("bootstrap", "zookeeper", 32, seed=1),

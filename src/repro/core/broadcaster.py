@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Iterable, Optional, Sequence
 
-from repro.core.messages import GossipEnvelope
+from repro.core.messages import GossipBundle, GossipEnvelope
 from repro.core.node_id import Endpoint
 from repro.runtime.base import Runtime
 
@@ -57,6 +57,7 @@ def make_fanout(runtime: Runtime) -> Fanout:
         return broadcast
 
     def fanout(dsts: Sequence[Endpoint], msg: Any) -> None:
+        """Send-loop fallback for runtimes without a broadcast fast path."""
         send = runtime.send
         for dst in dsts:
             send(dst, msg)
@@ -68,9 +69,11 @@ class Broadcaster:
     """Interface: deliver a payload to every member of the current view."""
 
     def set_membership(self, members: Sequence[Endpoint]) -> None:
+        """Adopt the membership of a newly installed view."""
         raise NotImplementedError
 
     def broadcast(self, payload: Any) -> None:
+        """Disseminate ``payload`` to every member, self included."""
         raise NotImplementedError
 
     def handle(self, src: Endpoint, envelope: Any) -> None:
@@ -94,21 +97,23 @@ class UnicastBroadcaster(Broadcaster):
         self._fanout = make_fanout(runtime)
 
     def set_membership(self, members: Sequence[Endpoint]) -> None:
+        """Adopt a new view; precompute the peer list (members minus self)."""
         self._members = tuple(members)
         me = self.runtime.addr
         self._peers = tuple(m for m in self._members if m != me)
 
     def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every peer directly, then deliver locally."""
         self._fanout(self._peers, payload)
         self.deliver(self.runtime.addr, payload)
 
     def handle(self, src: Endpoint, envelope: Any) -> None:
-        # Unicast broadcasts arrive as bare payloads; nothing to unwrap.
+        """Unicast broadcasts arrive as bare payloads; deliver as-is."""
         self.deliver(src, envelope)
 
 
 class GossipBroadcaster(Broadcaster):
-    """Epidemic relay with duplicate suppression.
+    """Epidemic relay with duplicate suppression and relay batching.
 
     ``hops`` defaults to ``ceil(log2(N)) + 3`` relays, enough for an
     epidemic with the default fanout to reach all members with high
@@ -117,6 +122,15 @@ class GossipBroadcaster(Broadcaster):
     deterministic — same-seed runs must replay identically across
     interpreter invocations, so nothing derived from the builtin
     ``hash()`` (which varies with ``PYTHONHASHSEED``) may reach the wire.
+
+    **Relay batching** (``relay_window`` > 0): envelopes awaiting a
+    forward are buffered for the window and then relayed together as one
+    :class:`~repro.core.messages.GossipBundle` to a single random peer
+    sample.  During broadcast storms — a mass bootstrap emits dozens of
+    alert-batch broadcasts per second, each of which every node forwards
+    once — this collapses k per-envelope relay fan-outs into one timer
+    plus one fan-out, at the cost of up to ``relay_window`` seconds of
+    added latency per hop.  A node's *own* broadcasts are never delayed.
     """
 
     def __init__(
@@ -125,21 +139,37 @@ class GossipBroadcaster(Broadcaster):
         deliver: Deliver,
         fanout: int = 8,
         hops: Optional[int] = None,
+        relay_window: float = 0.05,
     ) -> None:
+        """Bind the relay to ``runtime`` and its delivery callback."""
         self.runtime = runtime
         self.deliver = deliver
         self.fanout = fanout
+        self.relay_window = relay_window
         self._fixed_hops = hops
         self._members: tuple = ()
         self._peers: tuple = ()
         self._seen: set = set()
         self._next_id = 0
         self._fanout = make_fanout(runtime)
+        self._relay_buf: list = []
+        self._relay_timer = None
 
     def set_membership(self, members: Sequence[Endpoint]) -> None:
+        """Adopt a new view: recompute peers, forget dedup history.
+
+        Envelopes still buffered for relay belong to the old view and
+        are dropped with it — relaying them after ``_seen`` was wiped
+        would make every receiver treat them as first-seen and re-start
+        an epidemic of already-disseminated, now-stale traffic.
+        """
         self._members = tuple(members)
         self._peers = tuple(m for m in self._members if m != self.runtime.addr)
         self._seen.clear()
+        self._relay_buf.clear()
+        if self._relay_timer is not None:
+            self._relay_timer.cancel()
+            self._relay_timer = None
 
     def _hops(self) -> int:
         if self._fixed_hops is not None:
@@ -148,6 +178,7 @@ class GossipBroadcaster(Broadcaster):
         return int(math.ceil(math.log2(n))) + 3
 
     def broadcast(self, payload: Any) -> None:
+        """Originate an epidemic broadcast (local delivery included)."""
         # The counter is never reset (not even on view changes) so the
         # (origin, id) dedup key stays unique for the broadcaster's
         # lifetime.
@@ -163,30 +194,57 @@ class GossipBroadcaster(Broadcaster):
         self._relay(envelope)
 
     def handle(self, src: Endpoint, envelope: Any) -> None:
+        """Process an inbound envelope or relay bundle (dedup + forward)."""
+        if isinstance(envelope, GossipBundle):
+            for inner in envelope.envelopes:
+                self._handle_envelope(inner)
+            return
         if not isinstance(envelope, GossipEnvelope):
             self.deliver(src, envelope)
             return
+        self._handle_envelope(envelope)
+
+    def _handle_envelope(self, envelope: GossipEnvelope) -> None:
         key = (envelope.sender, envelope.message_id)
         if key in self._seen:
             return
         self._seen.add(key)
         self.deliver(envelope.sender, envelope.payload)
         if envelope.hops_left > 0:
-            self._relay(
-                GossipEnvelope(
-                    sender=envelope.sender,
-                    message_id=envelope.message_id,
-                    hops_left=envelope.hops_left - 1,
-                    payload=envelope.payload,
-                )
+            forward = GossipEnvelope(
+                sender=envelope.sender,
+                message_id=envelope.message_id,
+                hops_left=envelope.hops_left - 1,
+                payload=envelope.payload,
             )
+            if self.relay_window > 0:
+                self._relay_buf.append(forward)
+                if self._relay_timer is None:
+                    self._relay_timer = self.runtime.schedule(
+                        self.relay_window, self._flush_relays
+                    )
+            else:
+                self._relay(forward)
 
-    def _relay(self, envelope: GossipEnvelope) -> None:
+    def _flush_relays(self) -> None:
+        """Forward everything buffered during the window as one bundle."""
+        self._relay_timer = None
+        buf = self._relay_buf
+        if not buf:
+            return
+        if len(buf) == 1:
+            message: Any = buf[0]
+        else:
+            message = GossipBundle(sender=self.runtime.addr, envelopes=tuple(buf))
+        buf.clear()
+        self._relay(message)
+
+    def _relay(self, message: Any) -> None:
         peers = self._peers
         if not peers:
             return
         count = min(self.fanout, len(peers))
-        self._fanout(self.runtime.rng.sample(peers, count), envelope)
+        self._fanout(self.runtime.rng.sample(peers, count), message)
 
 
 class AdaptiveBroadcaster(Broadcaster):
@@ -208,13 +266,18 @@ class AdaptiveBroadcaster(Broadcaster):
         threshold: int,
         fanout: int = 8,
         hops: Optional[int] = None,
+        relay_window: float = 0.05,
     ) -> None:
+        """Construct both substrates; unicast starts active."""
         self.threshold = threshold
         self._unicast = UnicastBroadcaster(runtime, deliver)
-        self._gossip = GossipBroadcaster(runtime, deliver, fanout=fanout, hops=hops)
+        self._gossip = GossipBroadcaster(
+            runtime, deliver, fanout=fanout, hops=hops, relay_window=relay_window
+        )
         self._active: Broadcaster = self._unicast
 
     def set_membership(self, members: Sequence[Endpoint]) -> None:
+        """Adopt a new view and re-pick the substrate for its size."""
         members = tuple(members)
         self._unicast.set_membership(members)
         self._gossip.set_membership(members)
@@ -224,13 +287,16 @@ class AdaptiveBroadcaster(Broadcaster):
 
     @property
     def gossip_active(self) -> bool:
+        """True when the current view disseminates epidemically."""
         return self._active is self._gossip
 
     def broadcast(self, payload: Any) -> None:
+        """Disseminate through whichever substrate the view size picked."""
         self._active.broadcast(payload)
 
     def handle(self, src: Endpoint, envelope: Any) -> None:
-        if isinstance(envelope, GossipEnvelope):
+        """Dispatch inbound traffic on wire format, not the active mode."""
+        if isinstance(envelope, (GossipEnvelope, GossipBundle)):
             self._gossip.handle(src, envelope)
         else:
             self._unicast.handle(src, envelope)

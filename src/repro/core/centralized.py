@@ -50,6 +50,7 @@ from repro.core.messages import (
     ViewProbe,
     ViewUpdate,
     VoteBundle,
+    VotePull,
 )
 from repro.core.node_id import Endpoint
 from repro.core.ring import KRingTopology
@@ -120,10 +121,13 @@ class EnsembleNode:
     # --------------------------------------------------------------- messages
 
     def on_message(self, src: Endpoint, msg: Any) -> None:
+        """Entry point for cluster alerts, ensemble consensus, and joins."""
         if isinstance(msg, BatchedAlerts):
             for alert in msg.alerts:
                 self._on_alert(alert)
-        elif isinstance(msg, (VoteBundle, Decision, Phase1a, Phase1b, Phase2a, Phase2b)):
+        elif isinstance(
+            msg, (VoteBundle, VotePull, Decision, Phase1a, Phase1b, Phase2a, Phase2b)
+        ):
             self._on_consensus(src, msg)
         elif isinstance(msg, PreJoinRequest):
             self._on_pre_join_request(src, msg)
@@ -266,9 +270,8 @@ class CentralizedClusterNode(RapidNode):
         self.ensemble = tuple(sorted(ensemble))
         super().__init__(runtime, settings, seeds=self.ensemble, **kwargs)
 
-    # Every centralized node joins through the ensemble; there is no
-    # self-bootstrap path.
     def start(self) -> None:
+        """Boot by joining through the ensemble (no self-bootstrap path)."""
         if self.status != NodeStatus.INIT:
             raise RuntimeError("start() called twice")
         self.status = NodeStatus.JOINING

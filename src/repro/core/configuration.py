@@ -74,6 +74,7 @@ class Configuration:
 
     @property
     def size(self) -> int:
+        """Number of members in this view."""
         return len(self.members)
 
     def __contains__(self, endpoint: Endpoint) -> bool:
@@ -105,12 +106,14 @@ class Configuration:
         return self.member_index()[endpoint]
 
     def uuid_of(self, endpoint: Endpoint) -> Optional[int]:
+        """Logical id of ``endpoint`` in this view (``None`` if absent)."""
         try:
             return self.uuids[self.index_of(endpoint)]
         except KeyError:
             return None
 
     def has_uuid(self, uuid: int) -> bool:
+        """Whether any member of this view carries logical id ``uuid``."""
         return uuid in self.uuids
 
     # ------------------------------------------------------------- transitions

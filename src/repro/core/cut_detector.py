@@ -213,6 +213,7 @@ class MultiNodeCutDetector:
         return self._first_seen.get(subject)
 
     def kind_of(self, subject: Endpoint) -> Optional[str]:
+        """The alert kind (JOIN/REMOVE) first reported for ``subject``."""
         entry = self._kinds.get(subject)
         return entry[0] if entry else None
 

@@ -52,4 +52,5 @@ class ViewChangeEvent:
 
     @property
     def size(self) -> int:
+        """Size of the newly installed view."""
         return self.configuration.size

@@ -23,6 +23,19 @@ converged (no new bits learned for ``gossip_convergence_ticks`` intervals,
 or a quorum reached); a straggler whose push teaches us nothing is repaired
 reactively with a delta of the bits it is missing.
 
+Push gossip alone leaves a convergence *tail*: a node that is missing bits
+but has nothing new to push goes silent and can only wait for a random
+push to find it (or, worst case, the classical-Paxos fallback timer).  The
+**pull-gossip round** closes it: a stale tick sends a
+:class:`~repro.core.messages.VotePull` digest (the node's full aggregate)
+to ``gossip_pull_fanout`` random peers, and the receiver — after OR-merging
+the digest like any bundle — replies with exactly the bits the digest
+lacks, or the :class:`~repro.core.messages.Decision` once one is known.
+After local convergence an undecided node drops to a slow pull heartbeat
+(``RapidSettings.pull_interval``) instead of going fully quiet.  Pulls are
+gated by ``RapidSettings.gossip_pull_mode`` (``auto`` = active exactly when
+vote dissemination is in gossip mode).
+
 Quorum counting is incremental: each proposal's endorsement count is
 maintained as bits are merged (``new = bitmap & ~old``), so a quorum check
 is O(changed bits) per merge rather than an O(N-bit) popcount scan of every
@@ -53,6 +66,7 @@ from repro.core.messages import (
     Phase2b,
     Proposal,
     VoteBundle,
+    VotePull,
 )
 from repro.core.node_id import Endpoint
 from repro.core.paxos import PaxosInstance, fast_quorum_size
@@ -121,6 +135,10 @@ class FastPaxos:
         #: True when this view disseminates votes by gossip (delta bundles,
         #: no initial broadcast storm) rather than one aggregate broadcast.
         self.gossip_mode = settings.use_gossip(self.n)
+        #: True when stale ticks also *pull*: send a digest, get back the
+        #: missing bits.  Rides the gossip counting step, so it is only
+        #: effective while ``gossip_mode`` is active.
+        self.pull_mode = settings.use_pull(self.n)
         # Per-peer dissemination ledger (gossip mode): bits each peer has
         # been shown by us or has shown us, so pushes carry only deltas.
         self._shown: dict[Endpoint, dict[Proposal, int]] = {}
@@ -128,6 +146,8 @@ class FastPaxos:
         self._learned_since_tick = False
         self._m_bundles_tx = self.metrics.counter("consensus.vote_bundles_sent")
         self._m_bundles_rx = self.metrics.counter("consensus.vote_bundles_received")
+        self._m_pulls_tx = self.metrics.counter("consensus.vote_pulls_sent")
+        self._m_pull_replies = self.metrics.counter("consensus.vote_pull_replies")
         self.decided = False
         self.decision: Optional[Proposal] = None
         self._fallback_timer = None
@@ -147,6 +167,7 @@ class FastPaxos:
 
     @property
     def fast_quorum(self) -> int:
+        """Votes required to decide in the fast round: N - floor(N/4)."""
         return fast_quorum_size(self.n)
 
     def propose(self, proposal: Proposal) -> None:
@@ -181,6 +202,9 @@ class FastPaxos:
         """Feed a consensus-related message into this instance."""
         if isinstance(msg, VoteBundle):
             self._on_votes(msg)
+        elif isinstance(msg, VotePull):
+            if msg.config_id == self.config_id:
+                self._on_pull(msg)
         elif isinstance(msg, Decision):
             if msg.config_id == self.config_id:
                 self._decide(msg.value)
@@ -239,6 +263,44 @@ class FastPaxos:
             if reply is not None:
                 self.runtime.send(msg.sender, reply)
                 self._m_bundles_tx.inc()
+
+    def _on_pull(self, msg: VotePull) -> None:
+        """Serve a pull: merge the digest, reply with the bits it lacks.
+
+        A digest is also information — the requester's whole aggregate —
+        so it is OR-merged like any bundle and folded into the per-peer
+        ledger before computing the reply delta.  A decided node replies
+        with the decision instead (the requester is by definition
+        behind).
+        """
+        if self.decided:
+            self.runtime.send(
+                msg.sender,
+                Decision(
+                    sender=self.runtime.addr,
+                    config_id=self.config_id,
+                    value=self.decision,
+                ),
+            )
+            return
+        shown = self._shown.get(msg.sender)
+        if shown is None:
+            shown = self._shown[msg.sender] = {}
+        learned = 0
+        for proposal, bitmap in zip(msg.proposals, msg.bitmaps):
+            learned |= self._merge(proposal, bitmap)
+            shown[proposal] = shown.get(proposal, 0) | bitmap
+        if learned:
+            self._learned_since_tick = True
+            self._stale_ticks = 0
+        reply = self._delta_for(msg.sender)
+        if reply is not None:
+            self.runtime.send(msg.sender, reply)
+            self._m_bundles_tx.inc()
+            self._m_pull_replies.inc()
+        self._arm_fallback()
+        self._arm_gossip()
+        self._check_quorum()
 
     def _merge(self, proposal: Proposal, bitmap: int) -> int:
         """OR ``bitmap`` into the aggregate; returns the newly set bits.
@@ -326,10 +388,21 @@ class FastPaxos:
                 self._stale_ticks = 0
             else:
                 self._stale_ticks += 1
+                if self.pull_mode:
+                    # A quiet interval means pushes stopped teaching us;
+                    # actively fetch what we might be missing.
+                    self._send_pulls()
                 if self._stale_ticks >= self.settings.gossip_convergence_ticks:
-                    # Converged: nothing new learned for k intervals.  Stop
-                    # ticking — an incoming bundle with new bits re-arms us,
-                    # and the fallback timer still guards liveness.
+                    # Converged: nothing new learned for k intervals.  Push
+                    # gossip goes quiet — an incoming bundle with new bits
+                    # re-arms it — but an undecided node keeps a slow pull
+                    # heartbeat so the tail is fetched, not waited out
+                    # (without pulls, only the fallback timer guards
+                    # liveness here).
+                    if self.pull_mode:
+                        self._gossip_timer = self.runtime.schedule(
+                            self.settings.pull_interval(), self._gossip_tick
+                        )
                     return
             self._push_deltas()
         else:
@@ -355,6 +428,33 @@ class FastPaxos:
             if bundle is not None:
                 send(peer, bundle)
                 self._m_bundles_tx.inc()
+
+    def _send_pulls(self) -> None:
+        """Send our aggregate as a digest to ``gossip_pull_fanout`` peers.
+
+        The digest doubles as a push (receivers merge it), so the bits it
+        carries are optimistically marked shown for each pulled peer —
+        the same at-most-once bookkeeping ``_delta_for`` applies to
+        pushes; a lost datagram is repaired through other partners.
+        """
+        peers = self._peers
+        if not peers or not self.votes:
+            return
+        count = min(self.settings.gossip_pull_fanout, len(peers))
+        digest = VotePull(
+            sender=self.runtime.addr,
+            config_id=self.config_id,
+            proposals=tuple(self.votes.keys()),
+            bitmaps=tuple(self.votes.values()),
+        )
+        for peer in self.runtime.rng.sample(peers, count):
+            shown = self._shown.get(peer)
+            if shown is None:
+                shown = self._shown[peer] = {}
+            for proposal, bitmap in zip(digest.proposals, digest.bitmaps):
+                shown[proposal] = shown.get(proposal, 0) | bitmap
+            self.runtime.send(peer, digest)
+        self._m_pulls_tx.inc(count)
 
     def _delta_for(self, peer: Endpoint) -> Optional[VoteBundle]:
         """Bundle of vote bits ``peer`` has not been shown, or ``None``.

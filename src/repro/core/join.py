@@ -81,6 +81,7 @@ class JoinProtocol:
     # --------------------------------------------------------------- messages
 
     def on_pre_join_response(self, msg: PreJoinResponse) -> None:
+        """Phase 2: ask every temporary observer to vouch for the join."""
         if self.completed:
             return
         if msg.status == JoinStatus.UUID_IN_USE:
@@ -108,6 +109,7 @@ class JoinProtocol:
         self._arm_timeout(self.node.settings.join_timeout)
 
     def on_join_response(self, msg: JoinResponse) -> None:
+        """Completion: install the admitting view, or restart/retry."""
         if self.completed:
             return
         if msg.status == JoinStatus.SAFE_TO_JOIN:

@@ -22,6 +22,7 @@ Typical use (mirrors the paper's ``JOIN(HOST:PORT, SEEDS, CALLBACK)`` API)::
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Iterable, Optional
 
 from repro.core.configuration import Configuration
@@ -31,6 +32,7 @@ from repro.core.broadcaster import (
     Broadcaster,
     GossipBroadcaster,
     UnicastBroadcaster,
+    make_fanout,
 )
 from repro.core.events import NodeStatus, ViewChangeEvent
 from repro.core.fast_paxos import FastPaxos
@@ -40,6 +42,7 @@ from repro.core.messages import (
     AlertKind,
     BatchedAlerts,
     Decision,
+    GossipBundle,
     GossipEnvelope,
     JoinRequest,
     JoinResponse,
@@ -55,6 +58,7 @@ from repro.core.messages import (
     ProbeAck,
     Proposal,
     VoteBundle,
+    VotePull,
 )
 from repro.core.node_id import Endpoint, NodeId
 from repro.core.ring import KRingTopology
@@ -143,7 +147,10 @@ class RapidNode:
 
         if self.settings.broadcast_mode == BroadcastMode.GOSSIP:
             self.broadcaster: Broadcaster = GossipBroadcaster(
-                runtime, self._deliver_broadcast, fanout=self.settings.gossip_fanout
+                runtime,
+                self._deliver_broadcast,
+                fanout=self.settings.gossip_fanout,
+                relay_window=self.settings.gossip_relay_window,
             )
         elif self.settings.broadcast_mode == BroadcastMode.AUTO:
             # Scale-adaptive default: unicast below gossip_threshold
@@ -153,16 +160,45 @@ class RapidNode:
                 self._deliver_broadcast,
                 threshold=self.settings.gossip_threshold,
                 fanout=self.settings.gossip_fanout,
+                relay_window=self.settings.gossip_relay_window,
             )
         else:
             self.broadcaster = UnicastBroadcaster(runtime, self._deliver_broadcast)
 
-        # Monitoring state (per configuration).
+        # Monitoring state (per configuration), kept in parallel arrays
+        # indexed by subject position: the probe wheel touches these every
+        # tick and every ack, so bookkeeping must not allocate per probe.
         self._subjects: list[Endpoint] = []
-        self._detectors: dict[Endpoint, Any] = {}
+        self._subject_index: dict[Endpoint, int] = {}
+        self._detectors: list[Any] = []
         self._alerted: set[Endpoint] = set()
-        self._probe_seq = 0
-        self._pending_probes: dict[tuple, float] = {}
+        #: Outstanding probe per subject: the wheel-tick seq of the probe
+        #: in flight, or 0 when none (at most one probe per edge).
+        self._outstanding: list[int] = []
+        self._sent_at: list[float] = []
+        #: Subject indices assigned to each wheel slot (round-robin).
+        self._slot_indices: list[list[int]] = []
+        #: Shared expiry ring: ``(deadline, subject_idx, seq)`` in send
+        #: order.  Deadlines are monotone (fixed probe_timeout), so expiry
+        #: pops from the left — O(1) amortized, no per-probe timeout
+        #: events and no engine tombstones.
+        self._probe_ring: deque = deque()
+        #: Observers owed an ack, in probe-arrival order (dict as ordered
+        #: set); flushed as one batched ProbeAck on the next wheel tick.
+        self._ack_pending: dict[Endpoint, None] = {}
+        self._wheel_ticks = 0
+        self._report_every = 0
+        #: One-rotation announcement debounce (see ``_wheel_tick`` step 4).
+        self._announce_armed = False
+        #: Handle of the pending wheel tick, and whether it was scheduled
+        #: at the slow (pre-active, once-per-interval) cadence —
+        #: activation cancels a slow tick so monitoring and ack batching
+        #: start at sub-interval pace immediately.
+        self._wheel_timer = None
+        self._wheel_slow = False
+        self._wheel_slots = self.settings.wheel_slots()
+        self._sub_interval = self.settings.probe_interval / self._wheel_slots
+        self._fanout = make_fanout(runtime)
 
         # Alert batching.
         self._alert_batch: list[Alert] = []
@@ -232,9 +268,11 @@ class RapidNode:
 
     @property
     def size(self) -> int:
+        """Number of members in the current view (0 until active)."""
         return len(self.membership)
 
     def metadata_tuple(self) -> tuple:
+        """This node's role metadata in canonical (sorted, hashable) form."""
         return tuple(sorted(self.metadata.items()))
 
     def get_metadata(self, endpoint: Endpoint) -> dict:
@@ -286,69 +324,178 @@ class RapidNode:
         return lambda: PingTimeoutDetector(window=window, threshold=threshold)
 
     def _start_ticks(self) -> None:
+        """Start the per-node probe wheel (and the view-report timer).
+
+        The wheel is the node's *single* recurring schedule: one tick per
+        sub-interval drives probe sends (strided across slots), probe
+        expiry (the shared ring), batched ack flushes, and — once per
+        full rotation — the reinforcement scan.  Report sampling rides
+        the wheel too whenever ``report_interval`` is a whole number of
+        sub-intervals; otherwise it keeps a dedicated timer.
+        """
         if self._tick_started:
             return
         self._tick_started = True
-        jitter = self.runtime.rng.uniform(0, self.settings.probe_interval)
-        self.runtime.schedule(jitter, self._probe_tick)
-        self.runtime.schedule(
-            self.settings.probe_interval, self._reinforcement_tick
-        )
+        jitter = self.runtime.rng.uniform(0, self._sub_interval)
+        self._wheel_timer = self.runtime.schedule(jitter, self._wheel_tick)
+        self._report_every = 0
         if self.view_trace is not None:
-            self.runtime.schedule(
-                self.settings.report_interval, self._report_tick
-            )
+            ratio = self.settings.report_interval / self._sub_interval
+            if abs(ratio - round(ratio)) < 1e-9 and round(ratio) >= 1:
+                self._report_every = int(round(ratio))
+            else:
+                self.runtime.schedule(
+                    self.settings.report_interval, self._report_tick
+                )
 
-    def _probe_tick(self) -> None:
+    def _wheel_tick(self) -> None:
+        """One probe-wheel sub-interval: expire, ack, probe, reinforce.
+
+        Runs ``probe_wheel_slots`` times per ``probe_interval``.  Every
+        subject is probed exactly once per interval (in its assigned
+        slot); expiry of overdue probes is checked against the shared
+        ring, so no per-probe timeout event ever reaches the engine.
+        """
         if self.status in (NodeStatus.KICKED, NodeStatus.LEFT):
             return
-        if self.status == NodeStatus.ACTIVE:
-            now = self.runtime.now()
-            for subject in self._subjects:
-                if subject in self._alerted:
+        if self.status != NodeStatus.ACTIVE:
+            # Nothing to probe or expire yet; idle at one tick per full
+            # interval (probes received meanwhile are acked immediately
+            # in _on_probe, so joiners stay responsive).  Mass
+            # bootstraps spend seconds here per node — sub-interval
+            # ticking would be pure event overhead.  _install cancels
+            # this tick on activation so the fast cadence starts
+            # immediately.
+            self._wheel_slow = True
+            self._wheel_timer = self.runtime.schedule(
+                self.settings.probe_interval, self._wheel_tick
+            )
+            return
+        self._wheel_slow = False
+        now = self.runtime.now()
+        self._wheel_ticks = tick = self._wheel_ticks + 1
+        # 1. Expire overdue probes (ring is deadline-ordered; amortized
+        #    O(1) per probe, at most one sub-interval late).
+        ring = self._probe_ring
+        outstanding = self._outstanding
+        while ring and ring[0][0] <= now:
+            _, idx, seq = ring.popleft()
+            if outstanding[idx] != seq:
+                continue  # acked in time (or superseded by a view change)
+            outstanding[idx] = 0
+            subject = self._subjects[idx]
+            if subject in self._alerted:
+                continue
+            # Feed the verdict but do not announce yet: removals are
+            # announced at the rotation boundary below, so simultaneous
+            # victims in different slots land in one alert batch (the
+            # cut detector sees them together, as the paper's one-shot
+            # multi-node cuts require).
+            self._detectors[idx].on_probe_failure(now)
+        # 2. Flush batched acks: one message fans out to every observer
+        #    that probed us since the last tick.
+        if self._ack_pending:
+            targets = tuple(self._ack_pending)
+            self._ack_pending.clear()
+            # Only active nodes batch (pre-active probes are acked
+            # immediately in _on_probe), so bootstrapping is never set
+            # on this path.
+            self._fanout(
+                targets,
+                ProbeAck(sender=self.addr, config_id=self.config.config_id),
+            )
+        # 3. Probe this slot's subjects with one fanned-out message.
+        if self.status == NodeStatus.ACTIVE and self._subjects:
+            targets = []
+            deadline = now + self.settings.probe_timeout
+            alerted = self._alerted
+            subjects = self._subjects
+            sent_at = self._sent_at
+            for idx in self._slot_indices[tick % self._wheel_slots]:
+                subject = subjects[idx]
+                if subject in alerted or outstanding[idx]:
                     continue
-                self._probe_seq += 1
-                seq = self._probe_seq
-                self._pending_probes[(subject, seq)] = now
-                self._m_probes_sent.inc()
-                self.runtime.send(
-                    subject,
-                    Probe(sender=self.addr, config_id=self.config.config_id, seq=seq),
+                outstanding[idx] = tick
+                sent_at[idx] = now
+                ring.append((deadline, idx, tick))
+                targets.append(subject)
+            if targets:
+                self._m_probes_sent.inc(len(targets))
+                self._fanout(
+                    targets,
+                    Probe(
+                        sender=self.addr,
+                        config_id=self.config.config_id,
+                        seq=tick,
+                    ),
                 )
-                self.runtime.schedule(
-                    self.settings.probe_timeout, self._probe_timeout, subject, seq
-                )
-        self.runtime.schedule(self.settings.probe_interval, self._probe_tick)
+        # 4. Once per full rotation: announce failed edges, run the
+        #    reinforcement scan, and (when folded) the view-report
+        #    sample.  Announcements are debounced by one rotation:
+        #    striding means simultaneous victims can cross their
+        #    detector thresholds up to one probe_interval apart (the
+        #    crash lands mid-rotation, so edges in different slots see
+        #    one outcome more or less), and waiting a rotation after the
+        #    first verdict re-batches the whole wave into a single alert
+        #    batch — preserving the paper's one-shot multi-node cuts.
+        if tick % self._wheel_slots == 0:
+            if self.status == NodeStatus.ACTIVE:
+                alerted = self._alerted
+                detectors = self._detectors
+                pending = [
+                    subject
+                    for idx, subject in enumerate(self._subjects)
+                    if subject not in alerted and detectors[idx].failed()
+                ]
+                if pending and not self._announce_armed:
+                    self._announce_armed = True  # co-victims get one rotation
+                else:
+                    self._announce_armed = False
+                    for subject in pending:
+                        self._announce_removal(subject)
+            self._reinforcement_scan(now)
+        if self._report_every and tick % self._report_every == 0:
+            self._record_report()
+        self._wheel_timer = self.runtime.schedule(
+            self._sub_interval, self._wheel_tick
+        )
 
     def _on_probe(self, src: Endpoint, msg: Probe) -> None:
-        config_id = self.config.config_id if self.config is not None else 0
+        """Queue an ack; the batch flushes on our next wheel tick.
+
+        Before the node is active its wheel idles at one tick per
+        interval, which is too slow for ack batching — a joiner that
+        answered an interval late would look dead to its observers — so
+        pre-active probes are acked immediately instead.
+        """
+        if self.status == NodeStatus.ACTIVE:
+            self._ack_pending[msg.sender] = None
+            return
         self.runtime.send(
             msg.sender,
             ProbeAck(
                 sender=self.addr,
-                config_id=config_id,
-                seq=msg.seq,
-                bootstrapping=self.status != NodeStatus.ACTIVE,
+                config_id=self.config.config_id if self.config is not None else 0,
+                bootstrapping=True,
             ),
         )
 
     def _on_probe_ack(self, src: Endpoint, msg: ProbeAck) -> None:
-        sent = self._pending_probes.pop((msg.sender, msg.seq), None)
-        if sent is None:
-            return
-        detector = self._detectors.get(msg.sender)
-        if detector is not None and msg.sender not in self._alerted:
-            detector.on_probe_success(self.runtime.now(), self.runtime.now() - sent)
+        """Credit an ack to the sender's outstanding probe, if any.
 
-    def _probe_timeout(self, subject: Endpoint, seq: int) -> None:
-        if self._pending_probes.pop((subject, seq), None) is None:
-            return  # acked in time
-        detector = self._detectors.get(subject)
-        if detector is None or subject in self._alerted:
+        Acks are batched and carry no per-edge sequence number; whatever
+        probe is in flight for this subject is considered answered.  A
+        stale ack (its probe already expired, or a view change reset the
+        edge) finds nothing outstanding and is dropped.
+        """
+        idx = self._subject_index.get(msg.sender)
+        if idx is None or not self._outstanding[idx]:
             return
-        detector.on_probe_failure(self.runtime.now())
-        if detector.failed():
-            self._announce_removal(subject)
+        self._outstanding[idx] = 0
+        if msg.sender in self._alerted:
+            return
+        now = self.runtime.now()
+        self._detectors[idx].on_probe_success(now, now - self._sent_at[idx])
 
     def _announce_removal(self, subject: Endpoint) -> None:
         """Broadcast an irrevocable REMOVE alert about a subject we monitor."""
@@ -368,44 +515,51 @@ class RapidNode:
             )
         )
 
-    def _reinforcement_tick(self) -> None:
+    def _reinforcement_scan(self, now: float) -> None:
         """Paper section 4.2 liveness aid: after a subject has lingered in the
-        unstable region past the timeout, every observer echoes the alert."""
-        if self.status in (NodeStatus.KICKED, NodeStatus.LEFT):
-            return
-        if self.status == NodeStatus.ACTIVE and self.cut_detector is not None:
-            now = self.runtime.now()
-            for subject in self.cut_detector.unstable_subjects():
-                first = self.cut_detector.first_seen(subject)
-                if first is None or now - first < self.settings.reinforcement_timeout:
-                    continue
-                if subject in self._alerted:
-                    continue
-                rings = tuple(self.topology.observer_rings(self.addr, subject))
-                if not rings:
-                    continue
-                kind = self.cut_detector.kind_of(subject) or AlertKind.REMOVE
-                uuid = 0
-                if kind == AlertKind.JOIN:
-                    uuid = self._pending_joiners.get(subject, 0)
-                self._alerted.add(subject)
-                self._enqueue_alert(
-                    Alert(
-                        observer=self.addr,
-                        subject=subject,
-                        kind=kind,
-                        config_id=self.config.config_id,
-                        ring_numbers=rings,
-                        joiner_uuid=uuid,
-                    )
-                )
-        self.runtime.schedule(self.settings.probe_interval, self._reinforcement_tick)
+        unstable region past the timeout, every observer echoes the alert.
 
-    def _report_tick(self) -> None:
+        Runs once per full wheel rotation (every ``probe_interval``).
+        """
+        if self.status != NodeStatus.ACTIVE or self.cut_detector is None:
+            return
+        for subject in self.cut_detector.unstable_subjects():
+            first = self.cut_detector.first_seen(subject)
+            if first is None or now - first < self.settings.reinforcement_timeout:
+                continue
+            if subject in self._alerted:
+                continue
+            rings = tuple(self.topology.observer_rings(self.addr, subject))
+            if not rings:
+                continue
+            kind = self.cut_detector.kind_of(subject) or AlertKind.REMOVE
+            uuid = 0
+            if kind == AlertKind.JOIN:
+                uuid = self._pending_joiners.get(subject, 0)
+            self._alerted.add(subject)
+            self._enqueue_alert(
+                Alert(
+                    observer=self.addr,
+                    subject=subject,
+                    kind=kind,
+                    config_id=self.config.config_id,
+                    ring_numbers=rings,
+                    joiner_uuid=uuid,
+                )
+            )
+
+    def _record_report(self) -> None:
+        """Sample this node's view size into the experiment trace."""
         if self.status == NodeStatus.ACTIVE and self.config is not None:
             self.view_trace.record(
                 self.addr, self.runtime.now(), self.config.size, self.config.config_id
             )
+
+    def _report_tick(self) -> None:
+        """Dedicated report timer, used only when the report period does
+        not divide evenly into wheel sub-intervals (otherwise reporting
+        rides the wheel tick)."""
+        self._record_report()
         if self.status not in (NodeStatus.KICKED, NodeStatus.LEFT):
             self.runtime.schedule(self.settings.report_interval, self._report_tick)
 
@@ -526,6 +680,16 @@ class RapidNode:
             self.consensus.cancel_timers()
         self.config = config
         self.status = NodeStatus.ACTIVE
+        # Activation: a wheel idling at the slow pre-active cadence could
+        # be up to a full probe_interval away, which would delay the
+        # first probes and — worse — hold queued acks past their
+        # observers' probe_timeout.  Restart it at sub-interval pace now.
+        if self._wheel_slow and self._wheel_timer is not None:
+            self._wheel_timer.cancel()
+            self._wheel_slow = False
+            self._wheel_timer = self.runtime.schedule(
+                self.runtime.rng.uniform(0, self._sub_interval), self._wheel_tick
+            )
         self.view_changes_installed += 1
         self._m_view_changes.inc()
         self._m_node_views.inc()
@@ -545,14 +709,24 @@ class RapidNode:
             metrics=self.metrics,
             index=config.member_index(),
         )
-        # Reset monitoring for the new topology.
+        # Reset monitoring for the new topology: fresh detectors, empty
+        # probe arrays, subjects re-strided across the wheel slots.
+        # Pending acks are deliberately kept — observers from the old
+        # view may still be waiting on them.
         self._subjects = [
             s for s in dict.fromkeys(self.topology.subjects_of(self.addr)) if s != self.addr
         ]
-        self._detectors = {s: self.detector_factory() for s in self._subjects}
+        count = len(self._subjects)
+        self._subject_index = {s: i for i, s in enumerate(self._subjects)}
+        self._detectors = [self.detector_factory() for _ in range(count)]
+        self._outstanding = [0] * count
+        self._sent_at = [0.0] * count
+        slots = self._wheel_slots
+        self._slot_indices = [list(range(s, count, slots)) for s in range(slots)]
+        self._probe_ring.clear()
         self._alerted.clear()
-        self._pending_probes.clear()
         self._alert_batch.clear()
+        self._announce_armed = False
         # Answer joiners admitted by this view change; joiners whose alerts
         # did not make this cut are told to restart promptly against the new
         # configuration (otherwise they would idle out their join timeout,
@@ -710,10 +884,12 @@ class RapidNode:
     # (see ``_build_dispatch``) so subclass overrides are honored.
     _DISPATCH_NAMES: dict = {
         GossipEnvelope: "_on_gossip_envelope",
+        GossipBundle: "_on_gossip_envelope",
         Probe: "_on_probe",
         ProbeAck: "_on_probe_ack",
         BatchedAlerts: "_on_batched_alerts",
         VoteBundle: "_on_consensus",
+        VotePull: "_on_consensus",
         Decision: "_on_consensus",
         Phase1a: "_on_consensus",
         Phase1b: "_on_consensus",

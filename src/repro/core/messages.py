@@ -29,12 +29,14 @@ __all__ = [
     "JoinResponse",
     "LeaveNotification",
     "VoteBundle",
+    "VotePull",
     "Decision",
     "Phase1a",
     "Phase1b",
     "Phase2a",
     "Phase2b",
     "GossipEnvelope",
+    "GossipBundle",
     "ViewProbe",
     "ViewUpdate",
     "JoinStatus",
@@ -71,6 +73,7 @@ Proposal = tuple  # tuple[Change, ...]
 
 
 def proposal_sort_key(change: Change) -> tuple:
+    """Canonical ordering of changes within a proposal."""
     return (change.endpoint, change.kind, change.uuid)
 
 
@@ -84,7 +87,13 @@ def make_proposal(changes) -> Proposal:
 
 @dataclass(frozen=True)
 class Probe:
-    """Edge-monitoring probe from an observer to its subject."""
+    """Edge-monitoring probe from an observer to its subject.
+
+    ``seq`` is the observer's wheel-tick counter, shared by every probe
+    sent in the same tick — one frozen message object fans out to all of
+    the tick's subjects.  It identifies the *probe round* at the observer;
+    acks do not echo it (see :class:`ProbeAck`).
+    """
 
     sender: Endpoint
     config_id: int
@@ -93,13 +102,24 @@ class Probe:
 
 @dataclass(frozen=True)
 class ProbeAck:
-    """Subject's reply; ``bootstrapping`` is true while the subject has
-    asked to join but has not yet seen itself in a configuration, so that
-    observers do not condemn a slow joiner."""
+    """Subject's batched reply to every observer that probed it recently.
+
+    Acks ride the subject's own probe-wheel tick: probes received since
+    the last tick are answered with *one* message fanned out to all of
+    their senders, so ack content cannot be observer-specific.  An
+    observer credits an ack to whatever probe it has outstanding for the
+    sender (at most one per subject); a stale ack that outlived its
+    probe's expiry finds nothing outstanding and is ignored.
+
+    ``bootstrapping`` is true when the ack came from a subject that is
+    not (yet) active in a view.  The flag is informational: a slow
+    joiner avoids condemnation by *acking at all* (any ack counts as a
+    probe success at the observer), and the flag merely labels that
+    traffic for diagnosis.
+    """
 
     sender: Endpoint
     config_id: int
-    seq: int
     bootstrapping: bool = False
 
 
@@ -215,6 +235,24 @@ class VoteBundle:
 
 
 @dataclass(frozen=True)
+class VotePull:
+    """Pull-gossip digest request: "here is my aggregate — what am I missing?".
+
+    ``proposals``/``bitmaps`` carry the requester's full vote aggregate
+    (the digest).  The receiver OR-merges it like any bundle — a pull is
+    also information — and replies with a :class:`VoteBundle` containing
+    exactly the bits the digest lacks, or a :class:`Decision` once one is
+    known.  Stale nodes use this to fetch the convergence tail instead of
+    sitting silent until the classical-Paxos fallback timer.
+    """
+
+    sender: Endpoint
+    config_id: int
+    proposals: tuple = ()  # tuple[Proposal, ...]
+    bitmaps: tuple = ()  # tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class Decision:
     """Learn message: broadcast by a node once it observes a quorum, so
     laggards adopt the decided view change without re-counting votes."""
@@ -284,6 +322,21 @@ class GossipEnvelope:
     message_id: int
     hops_left: int
     payload: object = None
+
+
+@dataclass(frozen=True)
+class GossipBundle:
+    """Several relayed envelopes coalesced into one datagram.
+
+    A relaying node that received multiple first-seen envelopes within
+    its relay window forwards them together — one message (and one
+    delivery event) per peer instead of one per envelope.  ``sender`` is
+    the relayer; each inner envelope keeps its own origin, dedup id, and
+    hop budget, so bundling is invisible to the epidemic's semantics.
+    """
+
+    sender: Endpoint
+    envelopes: tuple = ()  # tuple[GossipEnvelope, ...]
 
 
 # ------------------------------------------------- logically centralized

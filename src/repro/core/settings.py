@@ -45,9 +45,24 @@ class RapidSettings:
         Low watermark: fewer than ``l`` reports is noise; between ``l`` and
         ``h`` is the *unstable* region that blocks proposals.
     probe_interval:
-        Seconds between edge-monitoring probes to each subject.
+        Seconds between edge-monitoring probes to each subject.  Every
+        subject is probed exactly once per interval; *when* within the
+        interval is decided by the probe wheel (see
+        ``probe_wheel_slots``).
     probe_timeout:
         Seconds an observer waits before counting a probe as failed.
+        Expiry is checked on wheel ticks, so the effective timeout is
+        ``probe_timeout`` rounded up to the next wheel sub-interval
+        (at most ``probe_interval / probe_wheel_slots`` late).
+    probe_wheel_slots:
+        Number of sub-intervals the probe wheel divides ``probe_interval``
+        into.  Each subject is assigned to one slot, so probe traffic is
+        strided across the interval instead of bursting once; probe
+        expiry and batched acks ride the same tick, so no per-probe
+        timeout events are ever scheduled.  ``0`` (the default) picks
+        automatically (currently 2; see :meth:`wheel_slots`).
+        Must keep ``probe_interval / slots + 2 * RTT < probe_timeout``
+        or batched acks arrive after their probe expired.
     failure_threshold / detector_window:
         The default edge detector marks an edge faulty when
         ``failure_threshold`` of the last ``detector_window`` probes failed
@@ -68,6 +83,14 @@ class RapidSettings:
         Parameters of the epidemic broadcast used for alert dissemination
         and consensus vote counting when gossip is active (``GOSSIP``
         mode, or ``AUTO`` mode at or above ``gossip_threshold``).
+    gossip_relay_window:
+        Epidemic *relay batching*: a node buffers envelopes it owes a
+        forward for this many seconds and relays them as one bundle to
+        one random peer sample.  Broadcast storms (mass bootstraps emit
+        dozens of alert broadcasts per second, each relayed once by
+        every node) collapse k per-envelope fan-outs into one; the cost
+        is up to this much added latency per relay hop.  ``0`` disables
+        batching (immediate per-envelope relays).
     gossip_threshold:
         Cluster size at which ``AUTO`` switches from unicast broadcast to
         gossip, for both alert dissemination and consensus vote counting.
@@ -75,6 +98,24 @@ class RapidSettings:
         Consensus vote gossip stops ticking after this many consecutive
         intervals without learning a new vote bit (the aggregate has
         converged); any later bundle that teaches new bits re-arms it.
+    gossip_pull_mode:
+        Pull-gossip round for consensus vote counting: ``"on"``,
+        ``"off"``, or ``"auto"`` (the default — enabled exactly when
+        vote dissemination is in gossip mode).  A node whose push tick
+        learned nothing sends a digest of its aggregate to
+        ``gossip_pull_fanout`` random peers; a peer replies with
+        exactly the vote bits the digest is missing (or the decision,
+        once known).  This closes the convergence tail push-only gossip
+        leaves: a straggler that has nothing new to *push* would
+        otherwise sit silent until the classical-Paxos fallback timer.
+    gossip_pull_fanout:
+        Peers sent a digest per stale gossip tick (and per heartbeat
+        tick after local convergence).
+    gossip_pull_interval:
+        Cadence of the post-convergence pull heartbeat: an undecided
+        node keeps pulling at this period after its push gossip went
+        quiet.  ``0`` (the default) picks automatically
+        (``gossip_interval * gossip_convergence_ticks``).
     join_timeout:
         Seconds a joiner waits for a join to complete before retrying.
     view_probe_interval:
@@ -88,6 +129,7 @@ class RapidSettings:
 
     probe_interval: float = 1.0
     probe_timeout: float = 1.0
+    probe_wheel_slots: int = 0
     failure_threshold: float = 0.4
     detector_window: int = 10
 
@@ -101,8 +143,12 @@ class RapidSettings:
     broadcast_mode: str = BroadcastMode.AUTO
     gossip_interval: float = 0.2
     gossip_fanout: int = 8
+    gossip_relay_window: float = 0.05
     gossip_threshold: int = 128
     gossip_convergence_ticks: int = 5
+    gossip_pull_mode: str = "auto"
+    gossip_pull_fanout: int = 1
+    gossip_pull_interval: float = 0.0
 
     join_timeout: float = 5.0
     view_probe_interval: float = 5.0
@@ -129,6 +175,48 @@ class RapidSettings:
             raise ValueError("gossip_threshold must be positive")
         if self.gossip_convergence_ticks < 1:
             raise ValueError("gossip_convergence_ticks must be positive")
+        if self.probe_wheel_slots < 0:
+            raise ValueError("probe_wheel_slots must be >= 0 (0 = auto)")
+        if self.gossip_pull_mode not in ("on", "off", "auto"):
+            raise ValueError(
+                f"gossip_pull_mode must be on/off/auto, got {self.gossip_pull_mode!r}"
+            )
+        if self.gossip_pull_fanout < 1:
+            raise ValueError("gossip_pull_fanout must be positive")
+        if self.gossip_pull_interval < 0:
+            raise ValueError("gossip_pull_interval must be >= 0 (0 = auto)")
+        if self.gossip_relay_window < 0:
+            raise ValueError("gossip_relay_window must be >= 0 (0 = immediate)")
+
+    def wheel_slots(self) -> int:
+        """Resolve ``probe_wheel_slots``, applying the ``auto`` default.
+
+        Auto picks 2 sub-intervals: the minimum that strides probe
+        traffic while keeping batched acks (queued for up to one
+        sub-interval) comfortably inside ``probe_timeout``.  Every
+        additional slot costs one tick event and up to two fan-out
+        events per node per interval, so the default favors the event
+        budget; raise it for smoother traffic on jitter-sensitive
+        networks.  Bounded by ``k`` — a view with fewer subjects than
+        slots would tick empty slots for nothing.
+        """
+        if self.probe_wheel_slots:
+            return self.probe_wheel_slots
+        return max(1, min(2, self.k))
+
+    def use_pull(self, n: int) -> bool:
+        """Whether a view of ``n`` members runs the pull-gossip round."""
+        if self.gossip_pull_mode == "off":
+            return False
+        if self.gossip_pull_mode == "on":
+            return True
+        return self.use_gossip(n)
+
+    def pull_interval(self) -> float:
+        """Resolve ``gossip_pull_interval``, applying the ``auto`` default."""
+        if self.gossip_pull_interval:
+            return self.gossip_pull_interval
+        return self.gossip_interval * self.gossip_convergence_ticks
 
     def use_gossip(self, n: int) -> bool:
         """Whether a view of ``n`` members disseminates by gossip."""

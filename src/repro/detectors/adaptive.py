@@ -19,6 +19,21 @@ __all__ = ["AdaptiveTimeoutDetector"]
 
 
 class AdaptiveTimeoutDetector(EdgeFailureDetector):
+    """RTT-adaptive consecutive-failure detector.
+
+    Parameters
+    ----------
+    k_stddev:
+        Standard deviations above the mean RTT the informational timeout
+        budget sits at.
+    window:
+        Number of recent RTT samples (seconds) retained.
+    max_consecutive:
+        Probe failures in a row that latch the faulty verdict.
+    floor:
+        Lower bound (seconds) on the adaptive timeout budget.
+    """
+
     def __init__(
         self,
         k_stddev: float = 4.0,
@@ -44,13 +59,21 @@ class AdaptiveTimeoutDetector(EdgeFailureDetector):
         return max(self.floor, mean + self.k_stddev * math.sqrt(var))
 
     def on_probe_success(self, now: float, rtt: float) -> None:
+        """Record an acked probe: feed the RTT window, reset the streak.
+
+        ``rtt`` is in seconds and may include ack-batching queueing (up
+        to one probe-wheel sub-interval), which simply widens the
+        adaptive budget accordingly.
+        """
         self._rtts.append(rtt)
         self._consecutive_failures = 0
 
     def on_probe_failure(self, now: float) -> None:
+        """Record an expired probe; ``max_consecutive`` in a row latch."""
         self._consecutive_failures += 1
         if self._consecutive_failures >= self.max_consecutive:
             self._failed = True
 
     def failed(self) -> bool:
+        """True once the consecutive-failure streak latched (irrevocable)."""
         return self._failed

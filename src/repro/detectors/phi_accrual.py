@@ -18,16 +18,27 @@ from repro.detectors.base import EdgeFailureDetector
 __all__ = ["PhiAccrualDetector", "phi"]
 
 
+_LN10 = math.log(10.0)
+
+
 def phi(elapsed: float, mean: float, stddev: float) -> float:
     """Suspicion level for an ack overdue by ``elapsed`` seconds.
 
     Uses the logistic approximation to the normal CDF tail that the
     original paper (and Akka's implementation) uses, which is monotone and
-    cheap to evaluate.
+    cheap to evaluate.  Extreme deviations are handled analytically:
+    ``exp`` under/overflows past |exponent| ~ 700, where the tail
+    probability is ~``exp(-exponent)`` (so ``phi ~ exponent / ln 10``)
+    on the late side and ~1 (``phi = 0``) on the early side.
     """
     stddev = max(stddev, mean / 10.0, 1e-6)
     y = (elapsed - mean) / stddev
-    e = math.exp(-y * (1.5976 + 0.070566 * y * y))
+    exponent = y * (1.5976 + 0.070566 * y * y)
+    if exponent > 700.0:
+        return exponent / _LN10
+    if exponent < -700.0:
+        return 0.0
+    e = math.exp(-exponent)
     if elapsed > mean:
         return -math.log10(e / (1.0 + e))
     return -math.log10(1.0 - 1.0 / (1.0 + e))
@@ -57,11 +68,14 @@ class PhiAccrualDetector(EdgeFailureDetector):
         self._failed = False
 
     def on_probe_success(self, now: float, rtt: float) -> None:
+        """Record an ack at virtual time ``now``: feeds the inter-arrival
+        history (``rtt`` itself is unused — phi accrues on arrival gaps)."""
         if self._last_ack >= 0:
             self._intervals.append(now - self._last_ack)
         self._last_ack = now
 
     def on_probe_failure(self, now: float) -> None:
+        """Evaluate suspicion at ``now``; latch when phi >= threshold."""
         if self._failed:
             return
         if len(self._intervals) < self.min_samples or self._last_ack < 0:
@@ -87,4 +101,5 @@ class PhiAccrualDetector(EdgeFailureDetector):
         return phi(now - self._last_ack, mean, math.sqrt(var))
 
     def failed(self) -> bool:
+        """True once suspicion crossed the threshold (irrevocable)."""
         return self._failed

@@ -10,8 +10,6 @@ flaky-but-alive conditions.
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.detectors.base import EdgeFailureDetector
 
 __all__ = ["PingTimeoutDetector"]
@@ -20,20 +18,31 @@ __all__ = ["PingTimeoutDetector"]
 class PingTimeoutDetector(EdgeFailureDetector):
     """Sliding-window failure-fraction detector.
 
+    The window is a fixed-size ring buffer of booleans (array-backed, no
+    per-outcome allocation) with an incrementally maintained failure
+    count: the membership layer's probe wheel feeds one outcome per
+    subject per ``probe_interval``, so updates must be O(1).
+
     Parameters
     ----------
     window:
         Number of most recent probe outcomes considered.
     threshold:
-        Fraction of failures within the window that marks the edge faulty.
+        Fraction of failures within the window that marks the edge
+        faulty (inclusive: ``failures / samples >= threshold`` fails).
     min_samples:
         Minimum outcomes before any verdict, so a single lost probe right
-        after a view change cannot condemn an edge.
+        after a view change cannot condemn an edge.  Clamped to
+        ``window``.
     """
+
+    __slots__ = ("window", "threshold", "min_samples", "_ring", "_pos",
+                 "_count", "_failures", "_failed")
 
     def __init__(
         self, window: int = 10, threshold: float = 0.4, min_samples: int = 4
     ) -> None:
+        """Validate parameters and allocate the outcome ring."""
         if window < 1:
             raise ValueError("window must be positive")
         if not 0.0 < threshold <= 1.0:
@@ -41,23 +50,40 @@ class PingTimeoutDetector(EdgeFailureDetector):
         self.window = window
         self.threshold = threshold
         self.min_samples = min(min_samples, window)
-        self._outcomes: deque = deque(maxlen=window)
+        # Ring of the last `window` outcomes (True = success); `_count`
+        # grows to `window` then sticks, `_failures` tracks False entries.
+        self._ring: list[bool] = [True] * window
+        self._pos = 0
+        self._count = 0
+        self._failures = 0
         self._failed = False
 
-    def on_probe_success(self, now: float, rtt: float) -> None:
-        self._outcomes.append(True)
-        self._update()
-
-    def on_probe_failure(self, now: float) -> None:
-        self._outcomes.append(False)
-        self._update()
-
-    def _update(self) -> None:
-        if self._failed or len(self._outcomes) < self.min_samples:
+    def _observe(self, ok: bool) -> None:
+        """Record one outcome: O(1) ring overwrite + count maintenance."""
+        ring = self._ring
+        pos = self._pos
+        if self._count == self.window:
+            if not ring[pos]:
+                self._failures -= 1
+        else:
+            self._count += 1
+        ring[pos] = ok
+        if not ok:
+            self._failures += 1
+        self._pos = (pos + 1) % self.window
+        if self._failed or self._count < self.min_samples:
             return
-        failures = sum(1 for ok in self._outcomes if not ok)
-        if failures / len(self._outcomes) >= self.threshold:
+        if self._failures / self._count >= self.threshold:
             self._failed = True
 
+    def on_probe_success(self, now: float, rtt: float) -> None:
+        """Record an acked probe (``rtt`` in seconds; unused here)."""
+        self._observe(True)
+
+    def on_probe_failure(self, now: float) -> None:
+        """Record a probe that expired without an ack."""
+        self._observe(False)
+
     def failed(self) -> bool:
+        """True once the failure fraction crossed the threshold (latched)."""
         return self._failed

@@ -165,6 +165,7 @@ class SimCluster:
     # ---------------------------------------------------------------- driving
 
     def run_for(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` seconds."""
         self.engine.run_for(duration)
 
     def run_until_converged(
@@ -184,6 +185,7 @@ class SimCluster:
         return None
 
     def converged(self, size: int) -> bool:
+        """True when every live node is active and reports ``size``."""
         # Single pass, no intermediate lists: run_until_converged polls
         # this every virtual second, which at n=1000 adds up.
         runtimes = self.runtimes
@@ -199,16 +201,19 @@ class SimCluster:
     # ----------------------------------------------------------------- faults
 
     def crash(self, endpoints: Iterable[Endpoint]) -> None:
+        """Fail-stop the given processes immediately."""
         for ep in endpoints:
             self.runtimes[ep].crash()
 
     def crash_at(self, time: float, endpoints: Iterable[Endpoint]) -> None:
+        """Schedule a simultaneous crash at absolute virtual ``time``."""
         eps = tuple(endpoints)
         self.engine.schedule_at(time, lambda: self.crash(eps))
 
     # ---------------------------------------------------------------- queries
 
     def live_endpoints(self) -> list:
+        """Endpoints of processes that have a node and are not crashed."""
         return [
             ep
             for ep, runtime in self.runtimes.items()
@@ -216,9 +221,11 @@ class SimCluster:
         ]
 
     def live_nodes(self) -> list:
+        """Node objects of every live endpoint."""
         return [self.nodes[ep] for ep in self.live_endpoints()]
 
     def active_view_sizes(self) -> list:
+        """View sizes reported by live nodes that are ACTIVE."""
         return [
             node.size
             for node in self.live_nodes()

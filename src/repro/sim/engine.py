@@ -75,6 +75,7 @@ class EventHandle:
 
     @property
     def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
         return self._event.cancelled
 
     @property

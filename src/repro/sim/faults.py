@@ -48,6 +48,7 @@ class FaultRule:
     period_off: Optional[float] = None
 
     def active(self, now: float) -> bool:
+        """Whether the rule's window (and flip-flop phase) covers ``now``."""
         if not (self.start <= now < self.end):
             return False
         if self.period_on is None:
@@ -57,9 +58,11 @@ class FaultRule:
         return phase < self.period_on
 
     def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        """Whether this rule applies to a ``src -> dst`` packet."""
         raise NotImplementedError
 
     def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        """Probability of dropping a matching packet (0.0 to 1.0)."""
         raise NotImplementedError
 
     def should_drop(
@@ -89,9 +92,11 @@ class IngressLoss(FaultRule):
     probability: float = 1.0
 
     def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        """Packets destined for an afflicted node match."""
         return dst in self.nodes
 
     def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        """The configured loss probability."""
         return self.probability
 
 
@@ -103,9 +108,11 @@ class EgressLoss(FaultRule):
     probability: float = 1.0
 
     def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        """Packets originating at an afflicted node match."""
         return src in self.nodes
 
     def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        """The configured loss probability."""
         return self.probability
 
 
@@ -119,11 +126,13 @@ class PairLoss(FaultRule):
     bidirectional: bool = True
 
     def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        """The ``a -> b`` direction matches; ``b -> a`` if bidirectional."""
         if src == self.a and dst == self.b:
             return True
         return self.bidirectional and src == self.b and dst == self.a
 
     def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        """The configured loss probability."""
         return self.probability
 
 
@@ -150,6 +159,7 @@ class Partition(FaultRule):
     one_way: bool = False
 
     def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        """Cross-group traffic matches (one direction if ``one_way``)."""
         if src in self.group_a and dst in self.group_b:
             return True
         if not self.one_way and src in self.group_b and dst in self.group_a:
@@ -157,6 +167,7 @@ class Partition(FaultRule):
         return False
 
     def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        """Partitions drop everything that matches."""
         return 1.0
 
 
@@ -167,9 +178,11 @@ class AmbientLoss(FaultRule):
     probability: float = 0.0
 
     def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        """Every link matches."""
         return True
 
     def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        """The configured loss probability."""
         return self.probability
 
 

@@ -22,6 +22,7 @@ class LatencyModel:
     """Interface: one-way message delay in seconds."""
 
     def sample(self, rng: random.Random, size_bytes: int) -> float:
+        """One-way delay (seconds) for a message of ``size_bytes``."""
         raise NotImplementedError
 
 
@@ -32,6 +33,7 @@ class ConstantLatency(LatencyModel):
     delay: float = 0.001
 
     def sample(self, rng: random.Random, size_bytes: int) -> float:
+        """The fixed delay, regardless of size or randomness."""
         return self.delay
 
 
@@ -43,6 +45,7 @@ class UniformLatency(LatencyModel):
     high: float = 0.002
 
     def sample(self, rng: random.Random, size_bytes: int) -> float:
+        """A uniform draw from ``[low, high]`` seconds."""
         return rng.uniform(self.low, self.high)
 
 
@@ -64,6 +67,7 @@ class LanLatency(LatencyModel):
         self._log_median = math.log(self.median)
 
     def sample(self, rng: random.Random, size_bytes: int) -> float:
+        """Lognormal propagation delay plus size-proportional transmission."""
         # exp(gauss(mu, sigma)) is the same lognormal distribution as
         # rng.lognormvariate(mu, sigma), but gauss() amortizes one pair of
         # uniforms over two samples where normalvariate() runs a rejection

@@ -18,7 +18,7 @@ import math
 from collections import defaultdict
 from typing import Any, Callable, Optional, Sequence
 
-from repro.core.messages import VoteBundle
+from repro.core.messages import GossipEnvelope, VoteBundle, VotePull
 from repro.core.node_id import Endpoint
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
@@ -72,15 +72,16 @@ _SIZERS: dict[type, Callable[[Any], int]] = {
 }
 
 
-def _vote_bundle_size(value: VoteBundle) -> int:
-    """Size a VoteBundle with width-aware bitmap encoding.
+def _vote_bundle_size(value) -> int:
+    """Size a VoteBundle/VotePull with width-aware bitmap encoding.
 
     Vote bitmaps are arbitrary-precision integers — one bit per membership
     index — so at n=2000 a dense bitmap is ~250 wire bytes, not the flat 8
     the generic number rule would charge.  Delta bundles (sparse bitmaps)
     correspondingly shrink with their true bit width.  Small-cluster
     bundles (bit_length <= 64) size identically to the generic rule, so
-    existing small-N traces are unaffected.
+    existing small-N traces are unaffected.  Pull digests share the field
+    layout (sender, config_id, proposals, bitmaps) and the same rule.
     """
     total = 2 + _payload_size(value.sender) + 8  # fields + config_id
     total += 2 + sum(_payload_size(p) for p in value.proposals)
@@ -89,6 +90,7 @@ def _vote_bundle_size(value: VoteBundle) -> int:
 
 
 _SIZERS[VoteBundle] = _vote_bundle_size
+_SIZERS[VotePull] = _vote_bundle_size
 
 
 def _payload_size(value: Any) -> int:
@@ -131,6 +133,29 @@ def _payload_size_slow(value: Any) -> int:
     if isinstance(value, (list, tuple, set, frozenset)):
         return 2 + sum(_payload_size(item) for item in value)
     return 8
+
+
+#: Interned message-class labels for the per-class traffic breakdown.
+#: Gossip envelopes are labelled by their payload class too — the
+#: envelope is transport framing; what the cluster is *talking about* is
+#: the payload.
+_CLASS_KEYS: dict[type, str] = {}
+_ENVELOPE_KEYS: dict[type, str] = {}
+
+
+def _class_key(msg: Any) -> str:
+    """Stable label for the message-class traffic breakdown."""
+    cls = msg.__class__
+    if cls is GossipEnvelope:
+        pcls = msg.payload.__class__
+        key = _ENVELOPE_KEYS.get(pcls)
+        if key is None:
+            key = _ENVELOPE_KEYS[pcls] = f"GossipEnvelope[{pcls.__name__}]"
+        return key
+    key = _CLASS_KEYS.get(cls)
+    if key is None:
+        key = _CLASS_KEYS[cls] = cls.__name__
+    return key
 
 
 @dataclasses.dataclass
@@ -180,6 +205,10 @@ class Network:
         # Plain nested dicts with int keys — this is touched on every
         # send/deliver, so no defaultdict factories on the hot path.
         self.buckets: dict[Endpoint, dict[int, list[int]]] = {}
+        #: Messages accepted for transmission per message class (gossip
+        #: envelopes keyed by payload class); deterministic, harvested
+        #: into benchmark reports as ``messages.by_class``.
+        self.class_counts: dict[str, int] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         net = self.metrics.scope("net")
         self._sent_counter = net.counter("messages_sent")
@@ -241,9 +270,11 @@ class Network:
         return rule
 
     def remove_rule(self, rule: FaultRule) -> None:
+        """Uninstall a previously added fault rule."""
         self._rules.remove(rule)
 
     def clear_rules(self) -> None:
+        """Remove every installed fault rule."""
         self._rules.clear()
 
     # ----------------------------------------------------------------- faults
@@ -257,6 +288,7 @@ class Network:
         self._crashed.discard(addr)
 
     def is_crashed(self, addr: Endpoint) -> bool:
+        """Whether ``addr`` is currently fail-stopped."""
         return addr in self._crashed
 
     # -------------------------------------------------------------- messaging
@@ -266,6 +298,8 @@ class Network:
         if src in self._crashed:
             return
         size = wire_size(msg)
+        key = _class_key(msg)
+        self.class_counts[key] = self.class_counts.get(key, 0) + 1
         self._account_tx(src, size, 1)
         if dst in self._crashed:
             self._dropped_counter.inc()
@@ -308,6 +342,8 @@ class Network:
         if n == 0:
             return
         size = wire_size(msg)
+        key = _class_key(msg)
+        self.class_counts[key] = self.class_counts.get(key, 0) + n
         self._account_tx(src, size * n, n)
         crashed = self._crashed
         rules = self._rules

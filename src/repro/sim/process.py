@@ -47,12 +47,15 @@ class SimRuntime:
     # ------------------------------------------------------- runtime protocol
 
     def now(self) -> float:
+        """Current virtual time in seconds."""
         return self.engine.now
 
     def schedule(self, delay: float, fn: Callable[..., None], *args) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` virtual seconds unless crashed."""
         return self.engine.schedule(delay, self._guarded, fn, args)
 
     def send(self, dst: Endpoint, msg: Any) -> None:
+        """Fire-and-forget ``msg`` to ``dst`` (dropped if crashed)."""
         if not self._crashed:
             self.network.send(self.addr, dst, msg)
 
@@ -84,6 +87,7 @@ class SimRuntime:
 
     @property
     def crashed(self) -> bool:
+        """Whether this process is currently fail-stopped."""
         return self._crashed
 
     # --------------------------------------------------------------- internal

@@ -140,6 +140,7 @@ class ViewChangeEventLog:
         joins: int = 0,
         removes: int = 0,
     ) -> None:
+        """Append one view-change installation to the log."""
         self.records.append(
             ViewChangeRecord(time, endpoint, config_id, size, joins, removes)
         )
@@ -153,6 +154,7 @@ class ViewChangeEventLog:
         return seen
 
     def installations_of(self, config_id: int) -> list[ViewChangeRecord]:
+        """Every process's installation record for one configuration."""
         return [r for r in self.records if r.config_id == config_id]
 
     def view_change_count(self, endpoint: Endpoint) -> int:

@@ -8,7 +8,7 @@ from repro.core.broadcaster import (
     UnicastBroadcaster,
 )
 from repro.core.membership import RapidNode
-from repro.core.messages import GossipEnvelope
+from repro.core.messages import GossipBundle, GossipEnvelope
 from repro.core.node_id import Endpoint
 from repro.core.settings import BroadcastMode, RapidSettings
 from repro.sim.cluster import endpoint_for
@@ -18,15 +18,40 @@ from repro.sim.process import SimRuntime
 
 
 class FakeRuntime:
-    """Captures sends; no broadcast capability, so fan-outs loop over send."""
+    """Captures sends; no broadcast capability, so fan-outs loop over send.
+
+    Timers are collected and fired on demand (``fire_timers``) so tests
+    can step the relay-batching window deterministically.
+    """
 
     def __init__(self, addr):
         self.addr = addr
         self.rng = random.Random(0)
         self.sent = []
+        self.timers = []
 
     def send(self, dst, msg):
         self.sent.append((dst, msg))
+
+    class _Timer:
+        """Cancellable stand-in for an engine event handle."""
+
+        def __init__(self, fn, args):
+            self.fn, self.args, self.cancelled = fn, args, False
+
+        def cancel(self):
+            self.cancelled = True
+
+    def schedule(self, delay, fn, *args):
+        timer = self._Timer(fn, args)
+        self.timers.append((delay, timer))
+        return timer
+
+    def fire_timers(self):
+        timers, self.timers = self.timers, []
+        for _, timer in timers:
+            if not timer.cancelled:
+                timer.fn(*timer.args)
 
 
 def members(n):
@@ -83,6 +108,81 @@ class TestGossipMessageIds:
         assert len(delivered) == 2
 
 
+class TestRelayBatching:
+    def test_envelopes_in_one_window_relay_as_one_bundle(self):
+        """k first-seen envelopes within the window → one bundle per peer."""
+        view = members(8)
+        runtime = FakeRuntime(view[0])
+        bcast = GossipBroadcaster(
+            runtime, lambda src, msg: None, fanout=3, relay_window=0.05
+        )
+        bcast.set_membership(view)
+        for i in range(4):
+            bcast.handle(
+                view[1],
+                GossipEnvelope(
+                    sender=view[1], message_id=i + 1, hops_left=2, payload=f"p{i}"
+                ),
+            )
+        assert runtime.sent == []  # buffered, not yet relayed
+        runtime.fire_timers()
+        assert len(runtime.sent) == 3  # one message per sampled peer
+        for _, msg in runtime.sent:
+            assert isinstance(msg, GossipBundle)
+            assert len(msg.envelopes) == 4
+            assert all(e.hops_left == 1 for e in msg.envelopes)
+
+    def test_single_envelope_flush_sends_bare_envelope(self):
+        """No bundle overhead when the window caught only one envelope."""
+        view = members(8)
+        runtime = FakeRuntime(view[0])
+        bcast = GossipBroadcaster(
+            runtime, lambda src, msg: None, fanout=2, relay_window=0.05
+        )
+        bcast.set_membership(view)
+        bcast.handle(
+            view[1],
+            GossipEnvelope(sender=view[1], message_id=1, hops_left=1, payload="p"),
+        )
+        runtime.fire_timers()
+        assert len(runtime.sent) == 2
+        assert all(isinstance(m, GossipEnvelope) for _, m in runtime.sent)
+
+    def test_bundle_receiver_dedups_and_delivers_each_envelope(self):
+        view = members(8)
+        delivered = []
+        runtime = FakeRuntime(view[0])
+        bcast = GossipBroadcaster(
+            runtime, lambda src, msg: delivered.append((src, msg)), fanout=2
+        )
+        bcast.set_membership(view)
+        envelopes = tuple(
+            GossipEnvelope(sender=view[1], message_id=i + 1, hops_left=0, payload=i)
+            for i in range(3)
+        )
+        bundle = GossipBundle(sender=view[2], envelopes=envelopes)
+        bcast.handle(view[2], bundle)
+        assert [msg for _, msg in delivered] == [0, 1, 2]
+        # Payload origin (not the relayer) is reported as the source.
+        assert all(src == view[1] for src, _ in delivered)
+        bcast.handle(view[3], bundle)  # replay: every envelope already seen
+        assert len(delivered) == 3
+
+    def test_window_zero_relays_immediately(self):
+        view = members(8)
+        runtime = FakeRuntime(view[0])
+        bcast = GossipBroadcaster(
+            runtime, lambda src, msg: None, fanout=2, relay_window=0.0
+        )
+        bcast.set_membership(view)
+        bcast.handle(
+            view[1],
+            GossipEnvelope(sender=view[1], message_id=1, hops_left=1, payload="p"),
+        )
+        assert len(runtime.sent) == 2
+        assert runtime.timers == []
+
+
 class TestAdaptiveBroadcaster:
     def test_switches_on_membership_size(self):
         runtime = FakeRuntime(members(8)[0])
@@ -122,6 +222,7 @@ class TestAdaptiveBroadcaster:
             GossipEnvelope(sender=view[1], message_id=1, hops_left=2, payload="x"),
         )
         assert delivered == ["x"]
+        runtime.fire_timers()  # the relay-batching window elapses
         assert len(runtime.sent) == 3  # relayed onward despite unicast mode
         bcast.handle(view[2], "bare")
         assert delivered == ["x", "bare"]

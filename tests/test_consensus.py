@@ -17,7 +17,13 @@ import math
 import random
 
 from repro.core.fast_paxos import FastPaxos
-from repro.core.messages import AlertKind, Change, VoteBundle, make_proposal
+from repro.core.messages import (
+    AlertKind,
+    Change,
+    VoteBundle,
+    VotePull,
+    make_proposal,
+)
 from repro.core.node_id import Endpoint
 from repro.core.settings import BroadcastMode, RapidSettings
 from repro.obs.metrics import MetricsRegistry
@@ -200,11 +206,14 @@ class TestGossipDissemination:
         assert any(node.used_fallback for node in harness.nodes.values())
 
     def test_gossip_stops_after_convergence(self):
-        """Once nothing new is learned for k ticks, the timer goes quiet."""
+        """With pulls off, once nothing new is learned for k ticks the
+        timer goes fully quiet (the pre-pull contract, still available)."""
         # Fallback pushed beyond the observation window so the only
         # possible traffic after convergence is vote gossip.
         settings = gossip_settings(
-            gossip_convergence_ticks=3, consensus_fallback_timeout=10_000.0
+            gossip_convergence_ticks=3,
+            consensus_fallback_timeout=10_000.0,
+            gossip_pull_mode="off",
         )
         # 8 voters in a 32-member view: quorum (24) is unreachable, so the
         # round converges (all 8 bits everywhere) without deciding.
@@ -221,6 +230,93 @@ class TestGossipDissemination:
             node = harness.nodes[addr]
             assert not node.decided
             assert node.votes[proposal].bit_count() == 8
+
+    def test_pull_heartbeat_is_bounded_after_convergence(self):
+        """With pulls on (the default in gossip mode), undecided nodes keep
+        a slow pull heartbeat after push gossip converges — bounded by
+        ``gossip_pull_fanout`` digests per ``pull_interval()`` per node
+        (each earning at most one reply)."""
+        settings = gossip_settings(
+            gossip_convergence_ticks=3, consensus_fallback_timeout=10_000.0
+        )
+        n = 32
+        harness = ConsensusHarness(n, settings, seed=5)
+        proposal = proposal_for(0)
+        for addr in harness.members[:8]:
+            harness.engine.schedule(0.0, harness.nodes[addr].propose, proposal)
+        harness.engine.run(until=30.0)
+        sent_before = harness.network.sent_messages
+        window = 30.0
+        harness.engine.run(until=30.0 + window)
+        sent = harness.network.sent_messages - sent_before
+        per_node = settings.gossip_pull_fanout * (window / settings.pull_interval())
+        assert 0 < sent <= 2 * n * per_node, (sent, per_node)
+        # The aggregate is still fully converged and undecided.
+        for addr in harness.members[:8]:
+            node = harness.nodes[addr]
+            assert not node.decided
+            assert node.votes[proposal].bit_count() == 8
+
+
+class TestPullGossip:
+    def test_pull_merges_digest_and_replies_with_missing_bits(self):
+        """A pull digest is merged like a bundle; the reply is the delta."""
+        harness = ConsensusHarness(32, gossip_settings(), seed=7)
+        a, b = harness.members[0], harness.members[1]
+        node = harness.nodes[a]
+        proposal = proposal_for(0)
+        node._merge(proposal, 0b1111)
+        node._on_pull(
+            VotePull(sender=b, config_id=1, proposals=(proposal,), bitmaps=(0b10001,))
+        )
+        # The digest's bit 4 was merged locally...
+        assert node.votes[proposal] == 0b11111
+        # ...and the reply (delivered to b after the wire delay) carries
+        # exactly the bits b was missing.
+        harness.engine.run(until=1.0)
+        peer = harness.nodes[b]
+        assert peer.votes[proposal] == 0b1110 | 0b10001 | 0b1111
+
+    def test_pull_to_decided_node_earns_decision(self):
+        """Pulling a decided peer repairs the straggler with the decision."""
+        harness = ConsensusHarness(8, gossip_settings(), seed=8)
+        a, b = harness.members[0], harness.members[1]
+        node = harness.nodes[a]
+        proposal = proposal_for(0)
+        node._merge(proposal, (1 << node.fast_quorum) - 1)
+        node._check_quorum()
+        assert node.decided
+        node._on_pull(VotePull(sender=b, config_id=1, proposals=(), bitmaps=()))
+        harness.engine.run(until=1.0)
+        assert harness.nodes[b].decided
+        assert harness.nodes[b].decision == proposal
+
+    def test_stale_tick_sends_pulls(self):
+        """A tick that learned nothing sends gossip_pull_fanout digests."""
+        settings = gossip_settings(
+            gossip_pull_fanout=2, consensus_fallback_timeout=10_000.0
+        )
+        harness = ConsensusHarness(16, settings, seed=9)
+        node = harness.nodes[harness.members[0]]
+        harness.engine.schedule(0.0, node.propose, proposal_for(0))
+        # After the first push round, nothing new arrives (nobody else
+        # votes), so every subsequent tick is stale and pulls.
+        harness.engine.run(until=2.0)
+        pulls = counter_value(harness, "consensus.vote_pulls_sent")
+        assert pulls > 0
+        assert node.pull_mode
+
+    def test_pull_mode_gating(self):
+        """use_pull follows gossip mode in auto, and the explicit knobs."""
+        auto = RapidSettings()
+        assert not auto.use_pull(auto.gossip_threshold - 1)
+        assert auto.use_pull(auto.gossip_threshold)
+        assert RapidSettings(gossip_pull_mode="on").use_pull(2)
+        assert not gossip_settings(gossip_pull_mode="off").use_pull(10_000)
+        assert RapidSettings().pull_interval() == (
+            RapidSettings().gossip_interval * RapidSettings().gossip_convergence_ticks
+        )
+        assert RapidSettings(gossip_pull_interval=2.5).pull_interval() == 2.5
 
 
 class TestScale:
