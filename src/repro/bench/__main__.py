@@ -1,7 +1,7 @@
 """Benchmark CLI: ``python -m repro.bench --suite quick --out BENCH_quick.json``.
 
 Runs a declared suite (see :mod:`repro.bench.specs`), prints the
-paper-shaped ASCII summary, and writes the ``repro.bench/v1`` JSON
+paper-shaped ASCII summary, and writes the ``repro.bench/v2`` JSON
 report.  The report's virtual-time fields are deterministic given the
 suite and seeds; only wall-clock and memory fields vary across machines
 and runs.

@@ -144,6 +144,16 @@ def compare_reports(old: dict, new: dict) -> dict:
     where *missing* cases exist only in ``old`` and *added* only in
     ``new`` (both count as determinism drift for a same-suite compare).
     """
+    old_schema, new_schema = old.get("schema"), new.get("schema")
+    if old_schema != new_schema:
+        # Field shapes may differ between schema revisions (e.g.
+        # messages.by_class grew byte totals); diffing across them would
+        # report every such field as determinism drift instead of the
+        # real problem.
+        raise ValueError(
+            f"schema mismatch: OLD is {old_schema!r}, NEW is {new_schema!r} "
+            "— re-record the baseline with this version"
+        )
     old_cases = {case["name"]: case for case in old.get("cases", [])}
     new_cases = {case["name"]: case for case in new.get("cases", [])}
     for label, cases in (("OLD", old_cases), ("NEW", new_cases)):

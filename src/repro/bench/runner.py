@@ -6,10 +6,10 @@ clock and harvesting the deterministic measurement substrate afterwards:
 virtual duration, events processed, the network's ``net.*`` counters, and
 the full metrics snapshot of the harness registry.
 
-The report schema (``repro.bench/v1``)::
+The report schema (``repro.bench/v2``)::
 
     {
-      "schema": "repro.bench/v1",
+      "schema": "repro.bench/v2",
       "suite": "quick",
       "scale": 1.0,
       "config": {"python": ..., "platform": ..., "git": ...},
@@ -71,7 +71,7 @@ __all__ = [
     "write_timeseries_csv",
 ]
 
-SCHEMA = "repro.bench/v1"
+SCHEMA = "repro.bench/v2"
 
 #: Case fields that legitimately differ between two same-seed runs:
 #: wall-clock timings and machine-local memory measurements.  Everything
@@ -214,9 +214,16 @@ class BenchRunner:
                 "bytes_sent": network.sent_bytes,
                 "bytes_received": network.received_bytes,
                 # Per-message-class breakdown (deterministic): what the
-                # traffic *is*, so wins like "3x fewer probe events" are
-                # attributable from the report alone.
-                "by_class": dict(sorted(network.class_counts.items())),
+                # traffic *is* — message and wire-byte totals per class —
+                # so wins like "3x fewer probe events" or "join responses
+                # shrank 10x" are attributable from the report alone.
+                "by_class": {
+                    key: {
+                        "messages": count,
+                        "bytes": network.class_bytes.get(key, 0),
+                    }
+                    for key, count in sorted(network.class_counts.items())
+                },
             },
             metrics=snapshot,
             result=_scalars(outcome),
@@ -245,6 +252,10 @@ class BenchRunner:
             )
         if spec.scenario == "crash":
             return scenarios.crash_experiment(
+                spec.system, spec.n, seed=spec.seed, **kwargs
+            )
+        if spec.scenario == "join_churn":
+            return scenarios.join_churn_experiment(
                 spec.system, spec.n, seed=spec.seed, **kwargs
             )
         if spec.scenario == "packet_loss":
@@ -321,6 +332,9 @@ def _headline(case: CaseResult) -> str:
     if case.spec.scenario == "crash":
         t = result.get("removal_time")
         return f"removed@{t:.1f}s" if t is not None else "not removed"
+    if case.spec.scenario == "join_churn":
+        t = result.get("churn_convergence")
+        return f"churned@{t:.1f}s" if t is not None else "no convergence"
     if case.spec.scenario == "packet_loss":
         return (
             f"stability={result.get('stability_score')}"

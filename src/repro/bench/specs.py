@@ -17,7 +17,7 @@ from typing import Callable
 
 __all__ = ["BenchSpec", "SUITES", "suite_specs"]
 
-SCENARIOS = ("bootstrap", "crash", "packet_loss")
+SCENARIOS = ("bootstrap", "crash", "join_churn", "packet_loss")
 
 
 def _format_param(value) -> str:
@@ -79,8 +79,9 @@ class BenchSpec:
             return self
         n = max(4, int(round(self.n * factor)))
         params = dict(self.params)
-        if "failures" in params:
-            params["failures"] = max(1, min(params["failures"], n // 4))
+        for count_param in ("failures", "joiners", "rejoins"):
+            if count_param in params:
+                params[count_param] = max(1, min(params[count_param], n // 4))
         return replace(self, n=n, params=params)
 
 
@@ -102,6 +103,18 @@ def quick_suite() -> list:
             params={"failures": 6, "settings": {"broadcast_mode": "gossip"}},
         ),
         BenchSpec("crash", "memberlist", 16, seed=1, params={"failures": 3}),
+        # Join-dissemination gate: staggered late joins plus graceful
+        # leave/rejoin churn, so the CI run exercises single-responder
+        # dedup, delta-encoded rejoin responses, and the UUID_IN_USE
+        # retry on every change (Join* traffic shows up in
+        # messages.by_class).
+        BenchSpec(
+            "join_churn",
+            "rapid",
+            24,
+            seed=1,
+            params={"joiners": 6, "rejoins": 4},
+        ),
         BenchSpec(
             "packet_loss",
             "rapid",
@@ -133,6 +146,16 @@ def full_suite() -> list:
         BenchSpec("crash", "rapid", 512, seed=1, params={"failures": 16}),
         BenchSpec("crash", "rapid", 1000, seed=1, params={"failures": 16}),
         BenchSpec("crash", "rapid", 2000, seed=1, params={"failures": 16}),
+        # Join-path end point: rapid staggered joins and rejoins against a
+        # steady n=1000 cluster — the delta/dedup dissemination workload at
+        # the paper's operating scale.
+        BenchSpec(
+            "join_churn",
+            "rapid",
+            1000,
+            seed=1,
+            params={"joiners": 50, "rejoins": 10},
+        ),
         # Probe-heavy end point: a long lossy steady state at n=2000, where
         # edge monitoring (not consensus) dominates the event budget — the
         # probe wheel's target workload.  20 lossy processes (1%), 80%

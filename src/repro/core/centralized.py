@@ -196,6 +196,7 @@ class EnsembleNode:
                         sender=self.addr,
                         status=JoinStatus.UUID_IN_USE,
                         config_id=self.config.config_id,
+                        conflict_uuid=self.config.uuid_of(msg.sender),
                     ),
                 )
             return
@@ -230,9 +231,7 @@ class EnsembleNode:
             sender=self.addr,
             status=JoinStatus.SAFE_TO_JOIN,
             config_id=self.config.config_id,
-            members=self.config.members,
-            uuids=self.config.uuids,
-            seq=self.config.seq,
+            view=self.config.view_snapshot(),
         )
 
     def _view_update(self) -> ViewUpdate:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.core.messages import AlertKind, Change, Proposal
+from repro.core.messages import AlertKind, Change, Proposal, ViewDelta, ViewSnapshot
 from repro.core.node_id import Endpoint, stable_hash64
 
 __all__ = ["Configuration"]
@@ -143,6 +143,60 @@ class Configuration:
             members=ordered,
             uuids=tuple(current[m] for m in ordered),
             seq=self.seq + 1,
+        )
+
+    def view_snapshot(self, metadata: tuple = ()) -> ViewSnapshot:
+        """The interned join-response snapshot of this configuration.
+
+        Built on the first call — with the caller's canonical metadata
+        table — and cached on the instance, so every join response of a
+        view shares one frozen :class:`ViewSnapshot` object (whose wire
+        size the simulated network memoizes in turn).  Configuration
+        instances are per-node, and a node's metadata table is fixed for
+        the lifetime of an installed view, so later calls ignore the
+        argument and return the cached snapshot.
+        """
+        snapshot = self.__dict__.get("_snapshot")
+        if snapshot is None:
+            snapshot = ViewSnapshot(
+                members=self.members,
+                uuids=self.uuids,
+                seq=self.seq,
+                metadata=metadata,
+            )
+            object.__setattr__(self, "_snapshot", snapshot)
+        return snapshot
+
+    def apply_delta(self, delta: ViewDelta) -> "Configuration":
+        """Reconstruct the configuration a :class:`ViewDelta` describes.
+
+        The delta must have been encoded against *this* configuration
+        (``delta.base_config_id == self.config_id``); the result is
+        bit-identical to the responder's view — same sorted members,
+        aligned uuids, and sequence number, hence the same ``config_id``.
+        Raises ``ValueError`` on a base mismatch, so a joiner can fall
+        back to requesting a full snapshot instead of installing a
+        corrupted view.  Removes of unknown endpoints are skipped, not
+        rejected: a delta composed across several view changes can remove
+        a transient member this base never saw.  The end-to-end integrity
+        check is the ``config_id`` comparison the join protocol performs
+        on the reconstruction.
+        """
+        if delta.base_config_id != self.config_id:
+            raise ValueError(
+                f"delta base {delta.base_config_id:#x} does not match "
+                f"configuration {self.config_id:#x}"
+            )
+        current = dict(zip(self.members, self.uuids))
+        for endpoint in delta.removes:
+            current.pop(endpoint, None)
+        for endpoint, uuid in delta.adds:
+            current[endpoint] = uuid
+        ordered = tuple(sorted(current))
+        return Configuration(
+            members=ordered,
+            uuids=tuple(current[m] for m in ordered),
+            seq=delta.seq,
         )
 
     def describe(self) -> str:

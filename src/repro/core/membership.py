@@ -57,6 +57,7 @@ from repro.core.messages import (
     Probe,
     ProbeAck,
     Proposal,
+    ViewDelta,
     VoteBundle,
     VotePull,
 )
@@ -176,6 +177,9 @@ class RapidNode:
         #: in flight, or 0 when none (at most one probe per edge).
         self._outstanding: list[int] = []
         self._sent_at: list[float] = []
+        #: Consecutive bootstrapping acks per subject (see
+        #: ``probe_bootstrap_budget``).
+        self._bootstrap_acks: list[int] = []
         #: Subject indices assigned to each wheel slot (round-robin).
         self._slot_indices: list[list[int]] = []
         #: Shared expiry ring: ``(deadline, subject_idx, seq)`` in send
@@ -196,6 +200,7 @@ class RapidNode:
         #: start at sub-interval pace immediately.
         self._wheel_timer = None
         self._wheel_slow = False
+        self._report_timer = None
         self._wheel_slots = self.settings.wheel_slots()
         self._sub_interval = self.settings.probe_interval / self._wheel_slots
         self._fanout = make_fanout(runtime)
@@ -204,12 +209,31 @@ class RapidNode:
         self._alert_batch: list[Alert] = []
         self._batch_timer = None
 
-        # Joiners waiting for a view change that admits them.
-        self._pending_joiners: dict[Endpoint, int] = {}
+        # Joiners waiting for a view change that admits them:
+        # {endpoint: (uuid, base_config_id)} — the base is the
+        # configuration the joiner said it still holds (0 for none), used
+        # for delta-encoded join responses.
+        self._pending_joiners: dict[Endpoint, tuple] = {}
         self._joiner_metadata: dict[Endpoint, tuple] = {}
 
         # Decisions of recent configurations, to repair laggards.
         self._recent_decisions: dict[int, Proposal] = {}
+        # Configuration transition chain: {old_config_id: (new_config_id,
+        # ((endpoint, uuid), ...) adds, (endpoint, ...) removes)}.  Each
+        # decided cut appends one link; composing links from a rejoiner's
+        # advertised base to the current view yields the ViewDelta without
+        # retaining whole configurations — links are O(cut) bytes, so the
+        # chain reaches much further back than a config cache could.
+        self._config_chain: dict[int, tuple] = {}
+        # Join-response interning (reset per install): the
+        # membership-filtered metadata table backing the view snapshot
+        # (itself cached on the Configuration) and the deltas computed
+        # per advertised base.  Mass admissions build each once.
+        self._meta_entries: Optional[tuple] = None
+        self._delta_cache: dict[int, Optional[ViewDelta]] = {}
+        # The last configuration this process was a member of, advertised
+        # as a delta base when rejoining after a leave or kick.
+        self._delta_base: Optional[Configuration] = None
 
         self._join_protocol: Optional[JoinProtocol] = None
         self._tick_started = False
@@ -257,6 +281,11 @@ class RapidNode:
             raise RuntimeError("rejoin() only valid after leaving or being kicked")
         self.node_id = NodeId.fresh(self.addr)
         self.status = NodeStatus.JOINING
+        if self.config is not None:
+            # Keep the departed view as a delta base: responders that
+            # still retain it can answer our rejoin with a ViewDelta
+            # instead of re-shipping the whole membership.
+            self._delta_base = self.config
         self.config = None
         self._join_protocol = JoinProtocol(self)
         self._join_protocol.begin()
@@ -344,7 +373,7 @@ class RapidNode:
             if abs(ratio - round(ratio)) < 1e-9 and round(ratio) >= 1:
                 self._report_every = int(round(ratio))
             else:
-                self.runtime.schedule(
+                self._report_timer = self.runtime.schedule(
                     self.settings.report_interval, self._report_tick
                 )
 
@@ -357,6 +386,11 @@ class RapidNode:
         ring, so no per-probe timeout event ever reaches the engine.
         """
         if self.status in (NodeStatus.KICKED, NodeStatus.LEFT):
+            # The wheel dies with the membership; a later rejoin's
+            # _install sees the cleared handle and restarts it (a dead
+            # wheel on a readmitted node would hold queued acks forever,
+            # condemning it all over again).
+            self._wheel_timer = None
             return
         if self.status != NodeStatus.ACTIVE:
             # Nothing to probe or expire yet; idle at one tick per full
@@ -495,6 +529,21 @@ class RapidNode:
         if msg.sender in self._alerted:
             return
         now = self.runtime.now()
+        if msg.bootstrapping:
+            # "Has bootstrapped" rule: a joiner answers bootstrapping acks
+            # only between its admission and its view install, so a
+            # subject that *keeps* answering this way is a departed
+            # process whose graceful leave went missing (or a stale
+            # incarnation of a rejoiner) — past the budget its acks count
+            # as failures so it fails out of the view instead of
+            # lingering as an immortal member.
+            count = self._bootstrap_acks[idx] + 1
+            self._bootstrap_acks[idx] = count
+            if count > self.settings.probe_bootstrap_budget:
+                self._detectors[idx].on_probe_failure(now)
+                return
+        else:
+            self._bootstrap_acks[idx] = 0
         self._detectors[idx].on_probe_success(now, now - self._sent_at[idx])
 
     def _announce_removal(self, subject: Endpoint) -> None:
@@ -535,7 +584,8 @@ class RapidNode:
             kind = self.cut_detector.kind_of(subject) or AlertKind.REMOVE
             uuid = 0
             if kind == AlertKind.JOIN:
-                uuid = self._pending_joiners.get(subject, 0)
+                pending = self._pending_joiners.get(subject)
+                uuid = pending[0] if pending is not None else 0
             self._alerted.add(subject)
             self._enqueue_alert(
                 Alert(
@@ -558,10 +608,15 @@ class RapidNode:
     def _report_tick(self) -> None:
         """Dedicated report timer, used only when the report period does
         not divide evenly into wheel sub-intervals (otherwise reporting
-        rides the wheel tick)."""
+        rides the wheel tick).  Dies with the membership like the wheel;
+        _install restarts it on a rejoin."""
+        if self.status in (NodeStatus.KICKED, NodeStatus.LEFT):
+            self._report_timer = None
+            return
         self._record_report()
-        if self.status not in (NodeStatus.KICKED, NodeStatus.LEFT):
-            self.runtime.schedule(self.settings.report_interval, self._report_tick)
+        self._report_timer = self.runtime.schedule(
+            self.settings.report_interval, self._report_tick
+        )
 
     # ----------------------------------------------------------------- alerts
 
@@ -645,6 +700,13 @@ class RapidNode:
             return  # malformed proposal cannot install; should not happen
         joined = tuple(c.endpoint for c in proposal if c.kind == AlertKind.JOIN)
         removed = tuple(c.endpoint for c in proposal if c.kind == AlertKind.REMOVE)
+        self._config_chain[old_config.config_id] = (
+            new_config.config_id,
+            tuple((c.endpoint, c.uuid) for c in proposal if c.kind == AlertKind.JOIN),
+            removed,
+        )
+        if len(self._config_chain) > self._CHAIN_DEPTH:
+            self._config_chain.pop(next(iter(self._config_chain)))
         for endpoint in joined:
             meta = self._joiner_metadata.pop(endpoint, None)
             if meta:
@@ -678,17 +740,36 @@ class RapidNode:
         """Install a configuration and reset all per-view protocol state."""
         if self.consensus is not None:
             self.consensus.cancel_timers()
+        # The outgoing view is what pending JoinRequests were scoped to:
+        # its topology designates the (single) join responder per joiner.
+        old_topology = self.topology
+        self._meta_entries = None
+        self._delta_cache = {}
         self.config = config
         self.status = NodeStatus.ACTIVE
         # Activation: a wheel idling at the slow pre-active cadence could
         # be up to a full probe_interval away, which would delay the
         # first probes and — worse — hold queued acks past their
         # observers' probe_timeout.  Restart it at sub-interval pace now.
-        if self._wheel_slow and self._wheel_timer is not None:
-            self._wheel_timer.cancel()
+        # A wheel that died entirely (the node left or was kicked, then
+        # rejoined) is restarted the same way.
+        if self._tick_started and (
+            self._wheel_timer is None or self._wheel_slow
+        ):
+            if self._wheel_timer is not None:
+                self._wheel_timer.cancel()
             self._wheel_slow = False
             self._wheel_timer = self.runtime.schedule(
                 self.runtime.rng.uniform(0, self._sub_interval), self._wheel_tick
+            )
+        if (
+            self._tick_started
+            and self._report_timer is None
+            and self.view_trace is not None
+            and self._report_every == 0
+        ):
+            self._report_timer = self.runtime.schedule(
+                self.settings.report_interval, self._report_tick
             )
         self.view_changes_installed += 1
         self._m_view_changes.inc()
@@ -721,6 +802,7 @@ class RapidNode:
         self._detectors = [self.detector_factory() for _ in range(count)]
         self._outstanding = [0] * count
         self._sent_at = [0.0] * count
+        self._bootstrap_acks = [0] * count
         slots = self._wheel_slots
         self._slot_indices = [list(range(s, count, slots)) for s in range(slots)]
         self._probe_ring.clear()
@@ -730,19 +812,49 @@ class RapidNode:
         # Answer joiners admitted by this view change; joiners whose alerts
         # did not make this cut are told to restart promptly against the new
         # configuration (otherwise they would idle out their join timeout,
-        # which cascades badly during mass bootstraps).
+        # which cascades badly during mass bootstraps).  Responses are
+        # deduplicated — only the designated observer of each joiner
+        # answers — and batched: every joiner receiving the same payload
+        # (the interned view snapshot, one delta per base, the
+        # CONFIG_CHANGED notice) shares one fanned-out message.
+        snapshot_targets: list[Endpoint] = []
+        delta_targets: dict[int, list] = {}
+        changed_targets: list[Endpoint] = []
         for joiner in joined:
-            if joiner in self._pending_joiners:
-                uuid = self._pending_joiners.pop(joiner)
-                if config.uuid_of(joiner) == uuid:
-                    self.runtime.send(joiner, self._join_response(config))
-        for joiner in list(self._pending_joiners):
-            if joiner in config:
-                self._pending_joiners.pop(joiner)
+            pending = self._pending_joiners.pop(joiner, None)
+            if pending is None:
                 continue
+            uuid, base_id = pending
+            if config.uuid_of(joiner) != uuid:
+                continue
+            if not self._is_designated_responder(old_topology, joiner):
+                continue
+            if self._view_delta(config, base_id) is not None:
+                delta_targets.setdefault(base_id, []).append(joiner)
+            else:
+                snapshot_targets.append(joiner)
+        for joiner in list(self._pending_joiners):
             self._pending_joiners.pop(joiner)
-            self.runtime.send(
-                joiner,
+            if joiner in config:
+                continue
+            if not self._is_designated_responder(old_topology, joiner):
+                continue
+            changed_targets.append(joiner)
+        if snapshot_targets:
+            self._fanout(snapshot_targets, self._join_response(config))
+        for base_id, targets in delta_targets.items():
+            self._fanout(
+                targets,
+                JoinResponse(
+                    sender=self.addr,
+                    status=JoinStatus.SAFE_TO_JOIN,
+                    config_id=config.config_id,
+                    delta=self._view_delta(config, base_id),
+                ),
+            )
+        if changed_targets:
+            self._fanout(
+                changed_targets,
                 JoinResponse(
                     sender=self.addr,
                     status=JoinStatus.CONFIG_CHANGED,
@@ -768,27 +880,142 @@ class RapidNode:
         if self.on_view_change is not None:
             self.on_view_change(event)
 
+    def _is_designated_responder(self, topology, joiner: Endpoint) -> bool:
+        """Whether this node answers ``joiner``'s join for this decision.
+
+        The designated responder is the joiner's observer on the
+        lowest-numbered ring of the configuration its JoinRequests were
+        scoped to — deterministic per (joiner, configuration) pair, so
+        all ``K`` observers agree without coordination and exactly one
+        sends the (view-sized) response.  With dedup disabled, or on the
+        very first install (no prior topology), everyone answers.
+        """
+        if not self.settings.join_single_responder or topology is None:
+            return True
+        return topology.observers_of(joiner)[0] == self.addr
+
+    def _metadata_entries(self, config: Configuration) -> tuple:
+        """The current view's metadata table, built once per install.
+
+        Canonical ``((endpoint, ((key, value), ...)), ...)`` form, sorted
+        by endpoint and restricted to current members with a non-empty
+        table.  Every join response of this view shares this one tuple.
+        """
+        entries = self._meta_entries
+        if entries is None:
+            entries = tuple(
+                (endpoint, tuple(sorted(meta.items())))
+                for endpoint, meta in sorted(self.metadata_store.items())
+                if meta and endpoint in config
+            )
+            self._meta_entries = entries
+        return entries
+
+    #: Links retained in the configuration transition chain.  Each link is
+    #: O(cut-size) bytes, so depth is cheap; it bounds how far back a
+    #: rejoiner's base may lie before it falls back to a full snapshot.
+    _CHAIN_DEPTH = 32
+
+    def _view_delta(self, config: Configuration, base_id: int) -> Optional[ViewDelta]:
+        """The delta response payload for a joiner holding ``base_id``.
+
+        Composes the transition-chain links from the advertised base to
+        the current configuration into one net add/remove set (last write
+        per endpoint wins: a member removed and re-admitted along the way
+        nets to an add with its final uuid; a transient member both added
+        and removed nets to a remove the base never saw — appliers skip
+        those).  ``None`` when deltas are off, the base fell off the
+        chain (or 0 = first-time joiner), or the composed delta would not
+        beat the full snapshot (``auto`` mode).  Memoized per (install,
+        base): a wave of rejoiners sharing a base costs one composition.
+        """
+        if base_id == 0 or self.settings.join_delta_mode == "off":
+            return None
+        if base_id in self._delta_cache:
+            return self._delta_cache[base_id]
+        delta: Optional[ViewDelta] = None
+        net: dict[Endpoint, Optional[int]] = {}
+        chain = self._config_chain
+        cursor = base_id
+        for _ in range(len(chain) + 1):
+            if cursor == config.config_id:
+                adds = tuple(
+                    sorted(
+                        (endpoint, uuid)
+                        for endpoint, uuid in net.items()
+                        if uuid is not None
+                    )
+                )
+                removes = tuple(
+                    sorted(
+                        endpoint for endpoint, uuid in net.items() if uuid is None
+                    )
+                )
+                if self.settings.send_join_delta(
+                    len(adds) + len(removes), config.size
+                ):
+                    added = {endpoint for endpoint, _ in adds}
+                    delta = ViewDelta(
+                        base_config_id=base_id,
+                        seq=config.seq,
+                        adds=adds,
+                        removes=removes,
+                        metadata=tuple(
+                            entry
+                            for entry in self._metadata_entries(config)
+                            if entry[0] in added
+                        ),
+                    )
+                break
+            link = chain.get(cursor)
+            if link is None:
+                break
+            cursor, link_adds, link_removes = link
+            for endpoint in link_removes:
+                net[endpoint] = None
+            for endpoint, uuid in link_adds:
+                net[endpoint] = uuid
+        self._delta_cache[base_id] = delta
+        return delta
+
     def _join_response(self, config: Configuration) -> JoinResponse:
-        metadata = tuple(
-            (endpoint, tuple(sorted(meta.items())))
-            for endpoint, meta in sorted(self.metadata_store.items())
-        )
+        """A SAFE_TO_JOIN response carrying the interned view snapshot.
+
+        The :class:`ViewSnapshot` is built once per installed view
+        (:meth:`Configuration.view_snapshot`) and shared by every
+        response (and every admitted joiner) of that view; the simulated
+        network memoizes its wire size on the object, so constructing
+        and sizing the N-th response is O(1).
+        """
         return JoinResponse(
             sender=self.addr,
             status=JoinStatus.SAFE_TO_JOIN,
             config_id=config.config_id,
-            members=config.members,
-            uuids=config.uuids,
-            seq=config.seq,
-            metadata=metadata,
+            view=config.view_snapshot(self._metadata_entries(config)),
         )
 
-    def _install_joined_view(self, msg: JoinResponse) -> None:
-        """Called by the join protocol when our admission is confirmed."""
-        config = Configuration(members=msg.members, uuids=msg.uuids, seq=msg.seq)
-        for endpoint, meta in msg.metadata:
+    def _install_joined_view(
+        self,
+        config: Configuration,
+        metadata: tuple = (),
+        removed: tuple = (),
+        partial: bool = False,
+    ) -> None:
+        """Called by the join protocol when our admission is confirmed.
+
+        ``partial`` distinguishes the two response encodings: a full
+        snapshot replaces the metadata store wholesale, while a delta
+        applies its removals and additions on top of the store carried
+        over from the base configuration.
+        """
+        if not partial:
+            self.metadata_store.clear()
+        for endpoint in removed:
+            self.metadata_store.pop(endpoint, None)
+        for endpoint, meta in metadata:
             self.metadata_store[endpoint] = dict(meta)
         self.metadata_store[self.addr] = dict(self.metadata)
+        self._delta_base = None
         self._join_protocol = None
         self._install(config, joined=(self.addr,), removed=())
 
@@ -808,6 +1035,7 @@ class RapidNode:
                         sender=self.addr,
                         status=JoinStatus.UUID_IN_USE,
                         config_id=self.config.config_id,
+                        conflict_uuid=self.config.uuid_of(msg.sender),
                     ),
                 )
             return
@@ -837,7 +1065,21 @@ class RapidNode:
             return
         if msg.config_id != self.config.config_id:
             if msg.sender in self.config and self.config.uuid_of(msg.sender) == msg.uuid:
-                self.runtime.send(msg.sender, self._join_response(self.config))
+                # The join already succeeded; re-send the view (as a delta
+                # against the joiner's advertised base when possible).
+                delta = self._view_delta(self.config, msg.base_config_id)
+                if delta is not None:
+                    self.runtime.send(
+                        msg.sender,
+                        JoinResponse(
+                            sender=self.addr,
+                            status=JoinStatus.SAFE_TO_JOIN,
+                            config_id=self.config.config_id,
+                            delta=delta,
+                        ),
+                    )
+                else:
+                    self.runtime.send(msg.sender, self._join_response(self.config))
             else:
                 self.runtime.send(
                     msg.sender,
@@ -859,7 +1101,7 @@ class RapidNode:
                 ),
             )
             return
-        self._pending_joiners[msg.sender] = msg.uuid
+        self._pending_joiners[msg.sender] = (msg.uuid, msg.base_config_id)
         self._enqueue_alert(
             Alert(
                 observer=self.addr,

@@ -27,6 +27,8 @@ __all__ = [
     "PreJoinResponse",
     "JoinRequest",
     "JoinResponse",
+    "ViewSnapshot",
+    "ViewDelta",
     "LeaveNotification",
     "VoteBundle",
     "VotePull",
@@ -162,41 +164,103 @@ class PreJoinRequest:
 
 @dataclass(frozen=True)
 class PreJoinResponse:
-    """Seed -> joiner: the observers that will vouch for the join."""
+    """Seed -> joiner: the observers that will vouch for the join.
+
+    On ``UUID_IN_USE``, ``conflict_uuid`` names the logical id the view
+    already holds for the joiner's *own* endpoint (0 when the conflict is
+    someone else holding the requested uuid).  A joiner that recognizes
+    the conflicting id as one of its own earlier attempts adopts it —
+    its join already succeeded and only the response was lost — instead
+    of minting fresh identities against its own admission forever.
+    """
 
     sender: Endpoint
     status: str
     config_id: int
     observers: tuple = ()
+    conflict_uuid: int = 0
 
 
 @dataclass(frozen=True)
 class JoinRequest:
-    """Joiner -> temporary observer: please broadcast a JOIN alert."""
+    """Joiner -> temporary observer: please broadcast a JOIN alert.
+
+    ``base_config_id`` names a configuration the joiner still holds from a
+    previous membership (a rejoin after being kicked or leaving, or a
+    CONFIG_CHANGED restart after a completed join): the responder may then
+    answer with a :class:`ViewDelta` against that base instead of a full
+    view snapshot.  ``0`` means "no base" (first-time joins).
+    """
 
     sender: Endpoint
     uuid: int
     config_id: int
     ring_numbers: tuple = ()
     metadata: tuple = ()  # ((key, value), ...)
+    base_config_id: int = 0
+
+
+@dataclass(frozen=True)
+class ViewSnapshot:
+    """A full membership view as shipped to joiners.
+
+    One frozen snapshot per configuration is built by a responder and
+    shared by *every* ``JoinResponse`` of that view (mass bootstraps admit
+    hundreds of joiners per cut): members admitted in the same decision
+    share one members/uuids/metadata table instead of per-response copies,
+    and the simulated network memoizes the snapshot's wire size on the
+    object so sizing a response is O(1) after the first.
+
+    ``metadata`` is the join-time application metadata table,
+    ``((endpoint, ((key, value), ...)), ...)`` sorted by endpoint, holding
+    only members that advertised a non-empty table.
+    """
+
+    members: tuple = ()  # tuple[Endpoint, ...], sorted
+    uuids: tuple = ()  # tuple[int, ...], aligned with members
+    seq: int = 0
+    metadata: tuple = ()  # ((endpoint, ((k, v), ...)), ...)
+
+
+@dataclass(frozen=True)
+class ViewDelta:
+    """Changes from a base configuration to the responder's current view.
+
+    Sent instead of a :class:`ViewSnapshot` when the joiner advertised a
+    ``base_config_id`` the responder still retains and the delta encoding
+    is smaller: ``adds`` lists ``(endpoint, uuid)`` pairs new or re-keyed
+    since the base (a rejoined endpoint appears here with its fresh uuid),
+    ``removes`` lists departed endpoints, and ``metadata`` carries the
+    metadata table entries of added members only.  Applying the delta to
+    the base (:meth:`repro.core.configuration.Configuration.apply_delta`)
+    reconstructs a bit-identical configuration — same members, uuids,
+    sequence number, and therefore the same ``config_id``.
+    """
+
+    base_config_id: int
+    seq: int  # sequence number of the *resulting* configuration
+    adds: tuple = ()  # ((endpoint, uuid), ...), sorted by endpoint
+    removes: tuple = ()  # (endpoint, ...), sorted
+    metadata: tuple = ()  # ((endpoint, ((k, v), ...)), ...) for adds
 
 
 @dataclass(frozen=True)
 class JoinResponse:
     """Member -> joiner after the view change admitting it was decided.
 
-    Carries the full new view (sorted members, aligned uuids, and the view
-    sequence number) so the joiner reconstructs a bit-identical
-    :class:`~repro.core.configuration.Configuration`.
+    Exactly one of ``view`` / ``delta`` is set on ``SAFE_TO_JOIN``
+    responses: ``view`` carries the full membership snapshot, ``delta``
+    the changes against a base configuration the joiner said it holds.
+    Either way the joiner reconstructs a bit-identical
+    :class:`~repro.core.configuration.Configuration`.  CONFIG_CHANGED and
+    other non-admission statuses carry neither.
     """
 
     sender: Endpoint
     status: str
     config_id: int
-    members: tuple = ()
-    uuids: tuple = ()
-    seq: int = 0
-    metadata: tuple = ()  # ((endpoint, ((k, v), ...)), ...)
+    view: Optional[ViewSnapshot] = None
+    delta: Optional[ViewDelta] = None
 
 
 @dataclass(frozen=True)

@@ -67,6 +67,16 @@ class RapidSettings:
         The default edge detector marks an edge faulty when
         ``failure_threshold`` of the last ``detector_window`` probes failed
         (40% of 10, per the paper's implementation section).
+    probe_bootstrap_budget:
+        Consecutive *bootstrapping* probe acks an observer tolerates per
+        subject (per view) before treating further ones as probe
+        failures — the reference implementation's "has bootstrapped"
+        rule.  A live joiner answers bootstrapping acks only for the
+        short window between its admission being decided and its view
+        install, well under the budget; a process that answers
+        bootstrapping indefinitely is a departed member whose graceful
+        leave was lost (or a rejoiner's stale incarnation) and must fail
+        out of the view rather than linger forever.
     batching_window:
         Alerts are buffered this many seconds and broadcast as one batched
         message, like the reference implementation.
@@ -118,6 +128,30 @@ class RapidSettings:
         (``gossip_interval * gossip_convergence_ticks``).
     join_timeout:
         Seconds a joiner waits for a join to complete before retrying.
+        Retries are jittered by up to ``join_retry_jitter`` of the delay
+        so simultaneous rejoiners do not re-stampede the same seed.
+    join_retry_jitter:
+        Fraction of a join retry delay added as uniform random jitter
+        (per-node deterministic in the simulator).  ``0`` disables it.
+    join_single_responder:
+        Join-time response dedup: when true (the default), only the
+        *designated* observer — the one on the lowest-numbered ring among
+        the joiner's temporary observers, deterministic per configuration
+        — answers an admitted (or superseded) joiner; the other ``K - 1``
+        observers stay silent.  Cuts join-response traffic from ``K`` full
+        views per joiner to one; a lost response is recovered by the
+        joiner's retry (the seed re-sends the view when it finds the
+        member already admitted).  ``False`` restores every-observer
+        responses (the reference implementation's behavior).
+    join_delta_mode:
+        Delta-encoded join responses: ``"on"``, ``"off"``, or ``"auto"``
+        (the default).  A joiner holding a configuration from a previous
+        membership advertises its id; a responder that still retains that
+        base answers with a :class:`~repro.core.messages.ViewDelta`
+        (adds/removes/metadata against the base) instead of a full view
+        snapshot.  ``auto`` sends the delta only when it encodes fewer
+        entries than the snapshot; ``on`` always prefers the delta when
+        the base is known; ``off`` never advertises or sends deltas.
     view_probe_interval:
         Rapid-C only: how often cluster members poll the ensemble for view
         updates (the paper uses 5 seconds to mirror its ZooKeeper setup).
@@ -132,6 +166,7 @@ class RapidSettings:
     probe_wheel_slots: int = 0
     failure_threshold: float = 0.4
     detector_window: int = 10
+    probe_bootstrap_budget: int = 15
 
     batching_window: float = 0.1
 
@@ -151,6 +186,9 @@ class RapidSettings:
     gossip_pull_interval: float = 0.0
 
     join_timeout: float = 5.0
+    join_retry_jitter: float = 0.25
+    join_single_responder: bool = True
+    join_delta_mode: str = "auto"
     view_probe_interval: float = 5.0
 
     # View-size sampling period used by experiment traces (the paper's
@@ -177,6 +215,8 @@ class RapidSettings:
             raise ValueError("gossip_convergence_ticks must be positive")
         if self.probe_wheel_slots < 0:
             raise ValueError("probe_wheel_slots must be >= 0 (0 = auto)")
+        if self.probe_bootstrap_budget < 1:
+            raise ValueError("probe_bootstrap_budget must be positive")
         if self.gossip_pull_mode not in ("on", "off", "auto"):
             raise ValueError(
                 f"gossip_pull_mode must be on/off/auto, got {self.gossip_pull_mode!r}"
@@ -187,6 +227,12 @@ class RapidSettings:
             raise ValueError("gossip_pull_interval must be >= 0 (0 = auto)")
         if self.gossip_relay_window < 0:
             raise ValueError("gossip_relay_window must be >= 0 (0 = immediate)")
+        if self.join_retry_jitter < 0:
+            raise ValueError("join_retry_jitter must be >= 0 (0 = none)")
+        if self.join_delta_mode not in ("on", "off", "auto"):
+            raise ValueError(
+                f"join_delta_mode must be on/off/auto, got {self.join_delta_mode!r}"
+            )
 
     def wheel_slots(self) -> int:
         """Resolve ``probe_wheel_slots``, applying the ``auto`` default.
@@ -217,6 +263,20 @@ class RapidSettings:
         if self.gossip_pull_interval:
             return self.gossip_pull_interval
         return self.gossip_interval * self.gossip_convergence_ticks
+
+    def send_join_delta(self, delta_entries: int, view_entries: int) -> bool:
+        """Whether a delta of ``delta_entries`` beats a full view.
+
+        ``delta_entries`` counts the delta's adds plus removes,
+        ``view_entries`` the members of the full snapshot — the byte cost
+        of either encoding is proportional to its entry count, so the
+        ``auto`` mode compares entries rather than re-serializing both.
+        """
+        if self.join_delta_mode == "off":
+            return False
+        if self.join_delta_mode == "on":
+            return True
+        return delta_entries < view_entries
 
     def use_gossip(self, n: int) -> bool:
         """Whether a view of ``n`` members disseminates by gossip."""

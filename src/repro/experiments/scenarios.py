@@ -45,6 +45,7 @@ from repro.sim.rng import child_rng
 __all__ = [
     "bootstrap_experiment",
     "crash_experiment",
+    "join_churn_experiment",
     "packet_loss_experiment",
     "sensitivity_experiment",
     "txn_platform_experiment",
@@ -133,6 +134,95 @@ def crash_experiment(
             s for s in sizes_during if n - failures < s < n
         ),
         "timeseries": harness.trace.aggregate_series(survivors, step=5.0),
+        "harness": harness,
+    }
+
+
+# ------------------------------------------------------------- join churn:
+# late joins and rejoins against a steady cluster (join-path benchmarks)
+
+
+def join_churn_experiment(
+    system: str,
+    n: int,
+    joiners: int = 8,
+    rejoins: int = 0,
+    join_stagger: float = 5.0,
+    rejoin_delay: float = 8.0,
+    seed: int = 0,
+    settle_timeout: float = 600.0,
+    churn_timeout: float = 180.0,
+    **harness_kwargs,
+) -> dict:
+    """Bootstrap ``n`` processes, then churn the membership via the join path.
+
+    After the cluster reaches a steady state, ``joiners`` fresh processes
+    start staggered over ``join_stagger`` seconds, and ``rejoins`` existing
+    members gracefully leave (staggered over the same window) and rejoin
+    ``rejoin_delay`` seconds later with fresh logical identities.  This is
+    the join-dissemination workload: late joins exercise the full
+    view-snapshot responses (deduplicated to the designated observer), and
+    rejoins exercise delta-encoded responses against the base configuration
+    each leaver still holds — plus the UUID_IN_USE retry when a rejoin
+    races its own removal.
+
+    Requires a Rapid harness (node-level ``leave``/``rejoin`` and late
+    ``add_node``).  Returns the time for the cluster to re-converge to
+    ``n + joiners`` members and the join-path traffic totals
+    (message/byte counts of the ``PreJoin*``/``Join*`` classes).
+    """
+    harness = harness_for(system, seed=seed, **harness_kwargs)
+    cluster = getattr(harness, "cluster", None)
+    if cluster is None:
+        raise ValueError(
+            f"join_churn requires a Rapid harness, not {system!r} "
+            "(needs node-level leave/rejoin and late add_node)"
+        )
+    endpoints = harness.bootstrap(n, seed_delay=5.0, stagger=1.0)
+    harness.run_until_converged(n, timeout=settle_timeout)
+    harness.run_for(5.0)
+    churn_start = harness.engine.now
+    rng = harness.network.rng_for("join_churn")
+    rejoin_eps = endpoints[1 : 1 + max(0, min(rejoins, n - 1))]
+    for ep in rejoin_eps:
+        node = cluster.nodes[ep]
+        leave_at = churn_start + rng.random() * join_stagger
+        harness.engine.schedule_at(leave_at, node.leave)
+        harness.engine.schedule_at(leave_at + rejoin_delay, node.rejoin)
+    seed_ep = endpoints[0]
+    fresh_eps = [endpoint_for(n + i) for i in range(joiners)]
+    for ep in fresh_eps:
+        cluster.add_node(
+            ep,
+            seeds=(seed_ep,),
+            start_at=churn_start + rng.random() * join_stagger,
+        )
+    endpoints.extend(fresh_eps)
+    converged_at = harness.run_until_converged(n + joiners, timeout=churn_timeout)
+    harness.run_for(2.0)
+    network = harness.network
+    join_messages = sum(
+        count
+        for key, count in network.class_counts.items()
+        if key.startswith(("PreJoin", "Join"))
+    )
+    join_bytes = sum(
+        total
+        for key, total in network.class_bytes.items()
+        if key.startswith(("PreJoin", "Join"))
+    )
+    return {
+        "system": system,
+        "n": n,
+        "joiners": joiners,
+        "rejoins": rejoins,
+        "churn_start": churn_start,
+        "churn_convergence": (
+            converged_at - churn_start if converged_at is not None else None
+        ),
+        "join_messages": join_messages,
+        "join_bytes": join_bytes,
+        "timeseries": harness.trace.aggregate_series(endpoints, step=5.0),
         "harness": harness,
     }
 

@@ -18,7 +18,7 @@ import math
 from collections import defaultdict
 from typing import Any, Callable, Optional, Sequence
 
-from repro.core.messages import GossipEnvelope, VoteBundle, VotePull
+from repro.core.messages import GossipEnvelope, ViewSnapshot, VoteBundle, VotePull
 from repro.core.node_id import Endpoint
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
@@ -91,6 +91,35 @@ def _vote_bundle_size(value) -> int:
 
 _SIZERS[VoteBundle] = _vote_bundle_size
 _SIZERS[VotePull] = _vote_bundle_size
+
+
+def _view_snapshot_size(value) -> int:
+    """Size a ViewSnapshot once and memoize the result on the object.
+
+    Join responses intern one snapshot per configuration (see
+    :meth:`repro.core.membership.RapidNode._join_response`): during a mass
+    bootstrap the same O(N)-sized snapshot is sent to every joiner admitted
+    in the view, so walking its members tuple per response would make
+    wire sizing the dominant cost of the join path (~10k responses × ~25 KB
+    at n=1000).  The structural walk runs once per interned snapshot; every
+    later response sizes in O(1) via the cached value.  Caching on the
+    (frozen, shared) snapshot object keys the memo off the interned
+    identity — a distinct snapshot never reuses a stale size.
+    """
+    cached = value.__dict__.get("_wire_size")
+    if cached is None:
+        cached = (
+            2
+            + _container_size(value.members)
+            + _container_size(value.uuids)
+            + 8  # seq
+            + _container_size(value.metadata)
+        )
+        object.__setattr__(value, "_wire_size", cached)
+    return cached
+
+
+_SIZERS[ViewSnapshot] = _view_snapshot_size
 
 
 def _payload_size(value: Any) -> int:
@@ -209,6 +238,10 @@ class Network:
         #: envelopes keyed by payload class); deterministic, harvested
         #: into benchmark reports as ``messages.by_class``.
         self.class_counts: dict[str, int] = {}
+        #: Wire bytes accepted for transmission per message class, the
+        #: byte-weighted companion of :attr:`class_counts` — how wins
+        #: like "join responses shrank 10x" are attributable per class.
+        self.class_bytes: dict[str, int] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         net = self.metrics.scope("net")
         self._sent_counter = net.counter("messages_sent")
@@ -300,6 +333,7 @@ class Network:
         size = wire_size(msg)
         key = _class_key(msg)
         self.class_counts[key] = self.class_counts.get(key, 0) + 1
+        self.class_bytes[key] = self.class_bytes.get(key, 0) + size
         self._account_tx(src, size, 1)
         if dst in self._crashed:
             self._dropped_counter.inc()
@@ -344,6 +378,7 @@ class Network:
         size = wire_size(msg)
         key = _class_key(msg)
         self.class_counts[key] = self.class_counts.get(key, 0) + n
+        self.class_bytes[key] = self.class_bytes.get(key, 0) + size * n
         self._account_tx(src, size * n, n)
         crashed = self._crashed
         rules = self._rules

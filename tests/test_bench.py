@@ -21,6 +21,7 @@ class TestSpecs:
         assert {spec.scenario for spec in specs} == {
             "bootstrap",
             "crash",
+            "join_churn",
             "packet_loss",
         }
 
@@ -106,7 +107,7 @@ class TestJsonOutput:
         report = build_report("quick", 1.0, cases)
         path = write_report(report, tmp_path / "BENCH_test.json")
         loaded = json.loads(path.read_text())
-        assert loaded["schema"] == "repro.bench/v1"
+        assert loaded["schema"] == "repro.bench/v2"
         assert loaded["suite"] == "quick"
         assert loaded["config"]["python"]
         assert len(loaded["cases"]) == 1
@@ -135,7 +136,7 @@ class TestCli:
         )
         assert code == 0
         report = json.loads(out.read_text())
-        assert report["schema"] == "repro.bench/v1"
+        assert report["schema"] == "repro.bench/v2"
         assert len(report["cases"]) >= 3
         for case in report["cases"]:
             assert case["wall_s"] > 0
@@ -190,7 +191,7 @@ class TestCompare:
     def _report(self, tmp_path, name, cases):
         path = tmp_path / name
         path.write_text(
-            json.dumps({"schema": "repro.bench/v1", "suite": "quick", "cases": cases})
+            json.dumps({"schema": "repro.bench/v2", "suite": "quick", "cases": cases})
         )
         return str(path)
 
@@ -264,6 +265,26 @@ class TestCompare:
         )
         assert main(["compare", old, new]) == 0
         assert main(["compare", old, new, "--require-determinism"]) == 1
+
+    def test_schema_mismatch_is_usage_error(self, tmp_path, capsys):
+        # Field shapes can change between schema revisions (by_class grew
+        # byte totals in v2); comparing across revisions must fail with a
+        # clear message, not report every reshaped field as drift.
+        from repro.bench.__main__ import main
+
+        new = self._report(tmp_path, "new.json", [self._case("a", 1000.0)])
+        old_path = tmp_path / "old.json"
+        old_path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.bench/v1",
+                    "suite": "quick",
+                    "cases": [self._case("a", 1000.0)],
+                }
+            )
+        )
+        assert main(["compare", str(old_path), new]) == 2
+        assert "schema mismatch" in capsys.readouterr().out
 
     def test_unreadable_report_is_usage_error(self, tmp_path):
         from repro.bench.__main__ import main

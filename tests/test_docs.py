@@ -97,7 +97,7 @@ def test_paths_in_docs_resolve(doc, token):
     "doc,token", sorted(set(_tokens(_MODULE_RE))), ids=lambda v: str(v)
 )
 def test_module_references_in_docs_resolve(doc, token):
-    if token == "repro.bench/v1":  # report schema id, not a module
+    if token == "repro.bench/v2":  # report schema id, not a module
         pytest.skip("schema identifier")
     parts = token.split(".")
     module = None

@@ -35,6 +35,19 @@ class TestSend:
         assert network.stats[b].rx_bytes == size
         assert network.sent_messages == network.delivered_messages == 1
 
+    def test_per_class_counts_and_bytes(self):
+        engine, network = make_network()
+        a, b, c = endpoints(3)
+        for ep in (a, b, c):
+            network.register(ep, lambda src, msg: None)
+        msg = Probe(sender=a, config_id=1, seq=1)
+        network.send(a, b, msg)
+        network.broadcast(a, [b, c], msg)
+        engine.run()
+        assert network.class_counts == {"Probe": 3}
+        assert network.class_bytes == {"Probe": 3 * wire_size(msg)}
+        assert sum(network.class_bytes.values()) == network.sent_bytes
+
     def test_crashed_destination_drops(self):
         engine, network = make_network()
         a, b = endpoints(2)
