@@ -46,6 +46,15 @@ class GossipFdConfig:
     heartbeat_interval: float = 1.0
     timeout: float = 3.0
     check_interval: float = 0.5
+    #: Delay an alive-declare by up to this many seconds after hearing a
+    #: heartbeat from a down-marked peer, cancelling if someone else's
+    #: resurrect rumor lands first (SRM-style duplicate suppression).
+    #: 0.0 keeps the historical declare-immediately behavior, where every
+    #: observer that hears the same heartbeat broadcasts its own rumor —
+    #: an O(n^2)-message thundering herd per resurrected peer.  The
+    #: flapping *view* dynamics are unchanged either way; only the
+    #: duplicate rumor traffic is suppressed.
+    resurrect_delay: float = 0.0
 
 
 class GossipFdNode(MembershipAgent):
@@ -66,6 +75,7 @@ class GossipFdNode(MembershipAgent):
         self.down: set[Endpoint] = set()
         self._last_heard: dict[Endpoint, float] = {}
         self._epochs: dict[Endpoint, int] = {}
+        self._pending_resurrects: set[Endpoint] = set()
         self._started = False
         runtime.attach(self.on_message)
 
@@ -112,6 +122,27 @@ class GossipFdNode(MembershipAgent):
             if peer != self.addr:
                 self.runtime.send(peer, rumor)
 
+    def _schedule_resurrect(self, target: Endpoint) -> None:
+        """Queue a suppressible alive-declare for ``target``.
+
+        All observers hear a resurrected peer's heartbeat at essentially
+        the same instant; a random per-observer delay lets the first
+        declarer's rumor cancel everyone else's pending declare.
+        """
+        if target in self._pending_resurrects:
+            return
+        self._pending_resurrects.add(target)
+        self.runtime.schedule(
+            self.runtime.rng.uniform(0.0, self.config.resurrect_delay),
+            self._resurrect_if_still_down,
+            target,
+        )
+
+    def _resurrect_if_still_down(self, target: Endpoint) -> None:
+        self._pending_resurrects.discard(target)
+        if target in self.down:
+            self._declare(target, alive=True)
+
     def _set_status(self, target: Endpoint, alive: bool) -> None:
         before = self.view()
         if alive:
@@ -129,8 +160,13 @@ class GossipFdNode(MembershipAgent):
         if isinstance(msg, FdHeartbeat):
             self._last_heard[msg.sender] = self.runtime.now()
             if msg.sender in self.down:
-                # Heard from a supposedly dead node: resurrect it everywhere.
-                self._declare(msg.sender, alive=True)
+                # Heard from a supposedly dead node: resurrect it everywhere
+                # (optionally after a suppression delay — see
+                # ``GossipFdConfig.resurrect_delay``).
+                if self.config.resurrect_delay > 0.0:
+                    self._schedule_resurrect(msg.sender)
+                else:
+                    self._declare(msg.sender, alive=True)
         elif isinstance(msg, FdRumor):
             epoch = self._epochs.get(msg.target, 0)
             if msg.epoch > epoch:

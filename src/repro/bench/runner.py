@@ -245,24 +245,11 @@ class BenchRunner:
         return results
 
     def _execute(self, spec: BenchSpec) -> dict:
-        kwargs = dict(spec.params)
-        if spec.scenario == "bootstrap":
-            return scenarios.bootstrap_experiment(
-                spec.system, spec.n, seed=spec.seed, **kwargs
-            )
-        if spec.scenario == "crash":
-            return scenarios.crash_experiment(
-                spec.system, spec.n, seed=spec.seed, **kwargs
-            )
-        if spec.scenario == "join_churn":
-            return scenarios.join_churn_experiment(
-                spec.system, spec.n, seed=spec.seed, **kwargs
-            )
-        if spec.scenario == "packet_loss":
-            return scenarios.packet_loss_experiment(
-                spec.system, spec.n, seed=spec.seed, **kwargs
-            )
-        raise ValueError(f"unknown scenario {spec.scenario!r}")
+        try:
+            fn = scenarios.SCENARIO_FUNCTIONS[spec.scenario]
+        except KeyError:
+            raise ValueError(f"unknown scenario {spec.scenario!r}")
+        return fn(spec.system, spec.n, seed=spec.seed, **dict(spec.params))
 
 
 # ------------------------------------------------------------------ reporting
@@ -339,6 +326,12 @@ def _headline(case: CaseResult) -> str:
         return (
             f"stability={result.get('stability_score')}"
             f" removed={result.get('removed_faulty')}"
+        )
+    if case.spec.scenario == "adversary":
+        return (
+            f"evictions={result.get('healthy_evicted_nodes')}"
+            f" flaps={result.get('flap_events')}"
+            f" removed={result.get('faulty_removed')}"
         )
     return ""
 

@@ -17,7 +17,7 @@ from typing import Callable
 
 __all__ = ["BenchSpec", "SUITES", "suite_specs"]
 
-SCENARIOS = ("bootstrap", "crash", "join_churn", "packet_loss")
+SCENARIOS = ("bootstrap", "crash", "join_churn", "packet_loss", "adversary")
 
 
 def _format_param(value) -> str:
@@ -166,6 +166,25 @@ def full_suite() -> list:
             2000,
             seed=1,
             params={"loss": 0.8, "direction": "egress", "observe_for": 90.0},
+        ),
+        # Stability-under-adversity end points: the Figure 9 flip-flop
+        # profile and its steady asymmetric variant at the paper's n=1000
+        # operating point.  The scorecard scalars (healthy evictions, flap
+        # rate, detection latency) land in result.* so BENCH_full tracks
+        # the stability claim over time.
+        BenchSpec(
+            "adversary",
+            "rapid",
+            1000,
+            seed=1,
+            params={"profile": "flip_flop", "observe_for": 90.0},
+        ),
+        BenchSpec(
+            "adversary",
+            "rapid",
+            1000,
+            seed=1,
+            params={"profile": "asymmetric_ingress", "observe_for": 90.0},
         ),
         BenchSpec("bootstrap", "rapid-c", 32, seed=1),
         BenchSpec("bootstrap", "memberlist", 32, seed=1),

@@ -14,6 +14,7 @@ from typing import Iterable, Optional
 
 from repro.baselines.akka import AkkaConfig, AkkaNode
 from repro.baselines.common import ViewReporter
+from repro.baselines.gossip_fd import GossipFdConfig, GossipFdNode
 from repro.baselines.swim import SwimConfig, SwimNode
 from repro.baselines.zookeeper import ZkClient, ZkConfig, build_ensemble
 from repro.core.node_id import Endpoint
@@ -29,6 +30,7 @@ from repro.sim.trace import ViewTrace
 __all__ = [
     "RapidHarness",
     "SwimHarness",
+    "GossipFdHarness",
     "ZooKeeperHarness",
     "AkkaHarness",
     "harness_for",
@@ -103,6 +105,10 @@ class _AgentHarness:
         for ep in endpoints:
             self.runtimes[ep].crash()
 
+    def recover(self, endpoints: Iterable[Endpoint]) -> None:
+        for ep in endpoints:
+            self.runtimes[ep].recover()
+
     def live_endpoints(self) -> list:
         return [ep for ep in self.endpoints if not self.runtimes[ep].crashed]
 
@@ -114,6 +120,7 @@ class SwimHarness(_AgentHarness):
     """Memberlist/SWIM cluster."""
 
     name = "memberlist"
+    config_cls = SwimConfig
 
     def __init__(self, seed: int = 0, config: Optional[SwimConfig] = None, **kw) -> None:
         super().__init__(seed=seed, **kw)
@@ -128,6 +135,7 @@ class AkkaHarness(_AgentHarness):
     """Akka-Cluster-like cluster."""
 
     name = "akka"
+    config_cls = AkkaConfig
 
     def __init__(self, seed: int = 0, config: Optional[AkkaConfig] = None, **kw) -> None:
         super().__init__(seed=seed, **kw)
@@ -138,10 +146,32 @@ class AkkaHarness(_AgentHarness):
         return AkkaNode(runtime, seeds=seeds, config=self.config)
 
 
+class GossipFdHarness(_AgentHarness):
+    """All-to-all gossip failure-detector cluster (static member list).
+
+    Every agent knows the full membership from construction — the system
+    has no join protocol — so ``converged`` holds as soon as the processes
+    start; what the harness measures is view *stability* under faults.
+    """
+
+    name = "gossip-fd"
+    config_cls = GossipFdConfig
+
+    def __init__(
+        self, seed: int = 0, config: Optional[GossipFdConfig] = None, **kw
+    ) -> None:
+        super().__init__(seed=seed, **kw)
+        self.config = config or GossipFdConfig()
+
+    def _make_agent(self, runtime: SimRuntime, index: int):
+        return GossipFdNode(runtime, members=self.endpoints, config=self.config)
+
+
 class ZooKeeperHarness(_AgentHarness):
     """3-server ZooKeeper ensemble plus one client agent per process."""
 
     name = "zookeeper"
+    config_cls = ZkConfig
 
     def __init__(self, seed: int = 0, config: Optional[ZkConfig] = None, **kw) -> None:
         super().__init__(seed=seed, **kw)
@@ -196,6 +226,9 @@ class RapidHarness:
     def crash(self, endpoints: Iterable[Endpoint]) -> None:
         self.cluster.crash(endpoints)
 
+    def recover(self, endpoints: Iterable[Endpoint]) -> None:
+        self.cluster.recover(endpoints)
+
     def live_endpoints(self) -> list:
         return [ep for ep in self.endpoints if not self.cluster.runtimes[ep].crashed]
 
@@ -205,6 +238,10 @@ class RapidHarness:
     @property
     def agents(self):
         return self.cluster.nodes
+
+    @property
+    def runtimes(self):
+        return self.cluster.runtimes
 
 
 class RapidCHarness(RapidHarness):
@@ -218,6 +255,7 @@ SYSTEMS = {
     "rapid": RapidHarness,
     "rapid-c": RapidCHarness,
     "memberlist": SwimHarness,
+    "gossip-fd": GossipFdHarness,
     "zookeeper": ZooKeeperHarness,
     "akka": AkkaHarness,
 }
@@ -229,7 +267,10 @@ def harness_for(system: str, seed: int = 0, **kwargs):
     ``settings`` may be passed as a plain dict of
     :class:`~repro.core.settings.RapidSettings` field overrides — the form
     benchmark specs use, since their params must stay JSON-serializable —
-    and is instantiated here for the Rapid harnesses.
+    and is instantiated here for the Rapid harnesses.  Likewise ``config``
+    may be a plain dict of the baseline harness's config-dataclass fields
+    (``SwimConfig``, ``GossipFdConfig``, ``ZkConfig``, ``AkkaConfig``), the
+    form sweep grids use.
     """
     try:
         factory = SYSTEMS[system]
@@ -238,4 +279,13 @@ def harness_for(system: str, seed: int = 0, **kwargs):
     settings = kwargs.get("settings")
     if isinstance(settings, dict):
         kwargs["settings"] = RapidSettings(**settings)
+    config = kwargs.get("config")
+    if isinstance(config, dict):
+        config_cls = getattr(factory, "config_cls", None)
+        if config_cls is None:
+            raise ValueError(
+                f"system {system!r} takes no config dict; "
+                "pass Rapid overrides via settings={...}"
+            )
+        kwargs["config"] = config_cls(**config)
     return factory(seed=seed, **kwargs)

@@ -34,9 +34,11 @@ from repro.core.node_id import Endpoint
 from repro.core.ring import KRingTopology
 from repro.core.settings import RapidSettings
 from repro.experiments.harness import harness_for
+from repro.obs.scorecard import StabilityScorecard
 from repro.runtime.dispatch import TypeDispatcher
 from repro.sim.cluster import endpoint_for
 from repro.sim.engine import Engine
+from repro.sim.fault_profiles import compile_profile
 from repro.sim.faults import Blackhole, EgressLoss, IngressLoss
 from repro.sim.network import Network
 from repro.sim.process import SimRuntime
@@ -47,10 +49,12 @@ __all__ = [
     "crash_experiment",
     "join_churn_experiment",
     "packet_loss_experiment",
+    "adversary_experiment",
     "sensitivity_experiment",
     "txn_platform_experiment",
     "service_discovery_experiment",
     "bandwidth_stats",
+    "SCENARIO_FUNCTIONS",
 ]
 
 
@@ -303,6 +307,100 @@ def packet_loss_experiment(
         "timeseries": harness.trace.aggregate_series(healthy, step=5.0),
         "harness": harness,
     }
+
+
+# ----------------------------------------------------- Figures 9-12 matrix:
+# named fault profiles scored against ground truth
+
+
+def _view_callable(agent):
+    """A zero-argument view accessor for any membership agent.
+
+    Baselines expose ``view()``; Rapid nodes expose the ``membership``
+    property (the installed configuration's member tuple).  Both return
+    identity-stable tuples on quiet seconds, which the scorecard exploits.
+    """
+    view = getattr(agent, "view", None)
+    if callable(view):
+        return view
+    return lambda: agent.membership
+
+
+def _apply_action(harness, action) -> None:
+    """Execute one scheduled fault action against a harness."""
+    if action.action == "crash":
+        harness.crash(action.nodes)
+    elif action.action == "netdown":
+        for ep in action.nodes:
+            harness.network.crash(ep)
+    else:  # netup
+        for ep in action.nodes:
+            harness.network.recover(ep)
+
+
+def adversary_experiment(
+    system: str,
+    n: int,
+    profile: str = "flip_flop",
+    seed: int = 0,
+    fault_at: float = 30.0,
+    observe_for: float = 120.0,
+    settle_timeout: float = 600.0,
+    scorecard_interval: float = 1.0,
+    profile_overrides: Optional[dict] = None,
+    **harness_kwargs,
+) -> dict:
+    """Run a named fault profile against a system and score stability.
+
+    Bootstraps ``n`` processes, compiles ``profile`` (see
+    :mod:`repro.sim.fault_profiles`) against the cluster at
+    ``now + fault_at``, installs its rules and schedules its crash/recover
+    actions, and samples every healthy process's view through a
+    :class:`~repro.obs.scorecard.StabilityScorecard` for ``observe_for``
+    seconds.  The returned dict is flat scalars (sweep-CSV friendly) plus
+    the usual ``timeseries``/``harness`` keys.
+    """
+    harness = harness_for(system, seed=seed, **harness_kwargs)
+    endpoints = harness.bootstrap(n, seed_delay=5.0, stagger=1.0)
+    settled = harness.run_until_converged(n, timeout=settle_timeout)
+    harness.run_for(5.0)
+    fault_start = harness.engine.now + fault_at
+    compiled = compile_profile(
+        profile, endpoints, seed, fault_start, overrides=profile_overrides
+    )
+    for rule in compiled.rules:
+        harness.network.add_rule(rule)
+    for action in compiled.actions:
+        harness.engine.schedule_at(action.time, _apply_action, harness, action)
+    healthy = [ep for ep in endpoints if ep not in compiled.faulty]
+    agents = harness.agents
+    scorecard = StabilityScorecard(
+        engine=harness.engine,
+        views={ep: _view_callable(agents[ep]) for ep in healthy},
+        faulty=compiled.faulty,
+        fault_start=fault_start,
+        interval=scorecard_interval,
+        crashed=lambda ep: harness.runtimes[ep].crashed,
+    )
+    scorecard.start()
+    harness.run_for(fault_at + observe_for)
+    report = {
+        "system": system,
+        "n": n,
+        "profile": profile,
+        "expect_eviction": compiled.expect_eviction,
+        "faulty": sorted(str(e) for e in compiled.faulty),
+        "settled": settled is not None,
+        **scorecard.report(),
+        "timeseries": harness.trace.aggregate_series(healthy, step=5.0),
+        "harness": harness,
+    }
+    event_log = getattr(getattr(harness, "cluster", None), "event_log", None)
+    if event_log is not None:
+        report["configs_post_fault"] = len(
+            {r.config_id for r in event_log.records if r.time >= fault_start}
+        )
+    return report
 
 
 # ---------------------------------------------------------------- Figure 11:
@@ -629,3 +727,16 @@ class _Subruntime:
 
     def attach(self, handler):
         self._dispatcher.set_default(handler)
+
+
+#: Harness-driven scenarios addressable by name — the dispatch table shared
+#: by the benchmark runner (:mod:`repro.bench`) and the sweep harness
+#: (:mod:`repro.sweep`).  Every entry takes ``(system, n, seed=..., **params)``
+#: and returns a result dict carrying a ``"harness"`` key.
+SCENARIO_FUNCTIONS = {
+    "bootstrap": bootstrap_experiment,
+    "crash": crash_experiment,
+    "join_churn": join_churn_experiment,
+    "packet_loss": packet_loss_experiment,
+    "adversary": adversary_experiment,
+}

@@ -210,6 +210,23 @@ class SimCluster:
         eps = tuple(endpoints)
         self.engine.schedule_at(time, lambda: self.crash(eps))
 
+    def recover(self, endpoints: Iterable[Endpoint]) -> None:
+        """Un-crash the given processes (state intact).
+
+        Periodic timers whose reschedule was skipped while crashed stay
+        dead, so a fail-stopped Rapid node does not resume protocol
+        participation — use network-level crash/recover
+        (:meth:`Network.crash`/``recover``) for flip-flopping processes
+        that must come back talking.
+        """
+        for ep in endpoints:
+            self.runtimes[ep].recover()
+
+    def recover_at(self, time: float, endpoints: Iterable[Endpoint]) -> None:
+        """Schedule a simultaneous recovery at absolute virtual ``time``."""
+        eps = tuple(endpoints)
+        self.engine.schedule_at(time, lambda: self.recover(eps))
+
     # ---------------------------------------------------------------- queries
 
     def live_endpoints(self) -> list:

@@ -1,0 +1,360 @@
+"""Declarative, named fault profiles mapping onto the paper's scenarios.
+
+A :class:`FaultProfile` is a named recipe — "flip-flopping one-way loss on
+1% of processes", "whole-rack crash" — that :func:`compile_profile` turns
+into concrete network rules (:mod:`repro.sim.faults`) plus timed process
+actions, deterministically from a seed.  The adversary experiment
+(:func:`repro.experiments.scenarios.adversary_experiment`) and the sweep
+harness (:mod:`repro.sweep`) select scenarios by profile name, so every
+"what happens when…?" question is a registry entry rather than bespoke
+driver code.
+
+Paper mapping (section 7):
+
+=====================  ==========================================
+profile                paper condition
+=====================  ==========================================
+``ingress_loss``       Fig. 9/10 family — sustained one-way loss
+``flip_flop``          Fig. 9 — 20 s on / 20 s off INPUT drops
+``egress_loss``        Fig. 10 — OUTPUT-chain loss
+``asymmetric_ingress`` Fig. 9 steady state — 100% one-way drops
+``blackhole``          Fig. 12 — pairwise packet blackhole
+``slow_process``       accrual-detector probe: delay < timeout
+``stalled_process``    GC-stalled process: delay > timeout
+``flip_flop_crash``    repeated crash/recover of the same nodes
+``rack_crash``         correlated whole-rack fail-stop
+``rack_partition``     rack split from the rest of the cluster
+``network_flap``       cluster-wide loss burst, then quiet
+=====================  ==========================================
+
+Faulty-node selection draws from a child RNG scoped by profile name, so the
+same (profile, seed, cluster) triple always afflicts the same processes —
+the property the sweep determinism hash relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.node_id import Endpoint
+from repro.sim.faults import (
+    AmbientLoss,
+    Blackhole,
+    CrashSchedule,
+    EgressLoss,
+    FaultRule,
+    FlipFlopCrash,
+    IngressLoss,
+    Partition,
+    ProcessDelay,
+    ScheduledAction,
+    rack_assignment,
+    rack_members,
+)
+from repro.sim.rng import child_rng
+
+__all__ = [
+    "FaultProfile",
+    "CompiledProfile",
+    "PROFILES",
+    "compile_profile",
+    "profile_names",
+]
+
+
+@dataclass(frozen=True)
+class CompiledProfile:
+    """A profile instantiated against a concrete cluster.
+
+    ``rules`` go to ``Network.add_rule``; ``actions`` are timed
+    crash/recover steps for the experiment layer to schedule; ``faulty``
+    is the ground-truth set of afflicted processes the stability scorecard
+    judges evictions against.  ``expect_eviction`` states whether a correct
+    membership service should remove the faulty set (False for conditions
+    a stable service must *ride out*, like sub-threshold delays or global
+    flaps).
+    """
+
+    name: str
+    rules: tuple[FaultRule, ...]
+    actions: tuple[ScheduledAction, ...]
+    faulty: frozenset[Endpoint]
+    expect_eviction: bool
+    params: dict
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Registry entry: metadata plus a builder closure.
+
+    ``build(nodes, fault_start, params, rng)`` returns
+    ``(rules, actions, faulty)``; defaults document the tunable knobs and
+    gate which overrides :func:`compile_profile` accepts.
+    """
+
+    name: str
+    description: str
+    figure: str
+    expect_eviction: bool
+    defaults: dict
+    build: Callable
+
+
+def _pick_faulty(nodes: Sequence[Endpoint], fraction: float, rng) -> frozenset:
+    """Sample ``fraction`` of the cluster (at least one, never the seed).
+
+    Index 0 is the bootstrap seed; keeping it healthy means rejoin paths
+    stay comparable across systems.
+    """
+    pool = list(nodes[1:]) if len(nodes) > 1 else list(nodes)
+    count = min(len(pool), max(1, int(len(nodes) * fraction)))
+    return frozenset(rng.sample(pool, count))
+
+
+def _build_ingress_loss(nodes, fault_start, params, rng):
+    faulty = _pick_faulty(nodes, params["fraction"], rng)
+    rule = IngressLoss(
+        nodes=faulty, probability=params["loss"], start=fault_start
+    )
+    return (rule,), (), faulty
+
+
+def _build_flip_flop(nodes, fault_start, params, rng):
+    faulty = _pick_faulty(nodes, params["fraction"], rng)
+    rule = IngressLoss(
+        nodes=faulty,
+        probability=params["loss"],
+        start=fault_start,
+        period_on=params["period_on"],
+        period_off=params["period_off"],
+    )
+    return (rule,), (), faulty
+
+
+def _build_egress_loss(nodes, fault_start, params, rng):
+    faulty = _pick_faulty(nodes, params["fraction"], rng)
+    rule = EgressLoss(
+        nodes=faulty, probability=params["loss"], start=fault_start
+    )
+    return (rule,), (), faulty
+
+
+def _build_asymmetric_ingress(nodes, fault_start, params, rng):
+    faulty = _pick_faulty(nodes, params["fraction"], rng)
+    rule = IngressLoss(nodes=faulty, probability=1.0, start=fault_start)
+    return (rule,), (), faulty
+
+
+def _build_blackhole(nodes, fault_start, params, rng):
+    pool = list(nodes[1:]) if len(nodes) > 2 else list(nodes)
+    a, b = rng.sample(pool, 2)
+    rule = Blackhole(a, b, start=fault_start)
+    return (rule,), (), frozenset((a, b))
+
+
+def _build_process_delay(nodes, fault_start, params, rng):
+    faulty = _pick_faulty(nodes, params["fraction"], rng)
+    rule = ProcessDelay(
+        nodes=faulty,
+        delay=params["delay"],
+        jitter=params["jitter"],
+        start=fault_start,
+    )
+    return (rule,), (), faulty
+
+
+def _build_flip_flop_crash(nodes, fault_start, params, rng):
+    faulty = _pick_faulty(nodes, params["fraction"], rng)
+    loop = FlipFlopCrash(
+        nodes=tuple(sorted(faulty)),
+        start=fault_start,
+        down_for=params["down_for"],
+        up_for=params["up_for"],
+        cycles=params["cycles"],
+    )
+    return (), loop.schedule(), faulty
+
+
+def _build_rack_crash(nodes, fault_start, params, rng):
+    assignment = rack_assignment(nodes, params["racks"])
+    faulty = rack_members(assignment, params["rack"])
+    crash = CrashSchedule(nodes=tuple(sorted(faulty)), at=fault_start)
+    return (), crash.schedule(), faulty
+
+
+def _build_rack_partition(nodes, fault_start, params, rng):
+    assignment = rack_assignment(nodes, params["racks"])
+    faulty = rack_members(assignment, params["rack"])
+    rest = frozenset(nodes) - faulty
+    rule = Partition(
+        group_a=faulty,
+        group_b=rest,
+        one_way=params["one_way"],
+        probability=params["loss"],
+        start=fault_start,
+    )
+    return (rule,), (), faulty
+
+
+def _build_network_flap(nodes, fault_start, params, rng):
+    rule = AmbientLoss(
+        probability=params["loss"],
+        start=fault_start,
+        period_on=params["period_on"],
+        period_off=params["period_off"],
+    )
+    return (rule,), (), frozenset()
+
+
+PROFILES: dict[str, FaultProfile] = {
+    p.name: p
+    for p in (
+        FaultProfile(
+            name="ingress_loss",
+            description="Sustained one-way (INPUT-chain) loss on a slice of nodes.",
+            figure="Figure 9/10",
+            expect_eviction=True,
+            defaults={"fraction": 0.01, "loss": 0.8},
+            build=_build_ingress_loss,
+        ),
+        FaultProfile(
+            name="flip_flop",
+            description="One-way drops flip-flopping on/off on a slice of nodes.",
+            figure="Figure 9",
+            expect_eviction=True,
+            defaults={
+                "fraction": 0.01,
+                "loss": 1.0,
+                "period_on": 20.0,
+                "period_off": 20.0,
+            },
+            build=_build_flip_flop,
+        ),
+        FaultProfile(
+            name="egress_loss",
+            description="Sustained OUTPUT-chain loss on a slice of nodes.",
+            figure="Figure 10",
+            expect_eviction=True,
+            defaults={"fraction": 0.01, "loss": 0.8},
+            build=_build_egress_loss,
+        ),
+        FaultProfile(
+            name="asymmetric_ingress",
+            description="Steady 100% one-way ingress drops on a slice of nodes.",
+            figure="Figure 9 (steady state)",
+            expect_eviction=True,
+            defaults={"fraction": 0.01},
+            build=_build_asymmetric_ingress,
+        ),
+        FaultProfile(
+            name="blackhole",
+            description="Packet blackhole between one pair of processes.",
+            figure="Figure 12",
+            expect_eviction=False,
+            defaults={},
+            build=_build_blackhole,
+        ),
+        FaultProfile(
+            name="slow_process",
+            description="Paused-but-alive processes acking below the detector "
+            "timeout; a stable service must not evict them.",
+            figure="accrual-detector probe",
+            expect_eviction=False,
+            defaults={"fraction": 0.01, "delay": 0.25, "jitter": 0.0},
+            build=_build_process_delay,
+        ),
+        FaultProfile(
+            name="stalled_process",
+            description="GC-stalled processes whose acks arrive past the "
+            "detector timeout; they must be evicted.",
+            figure="accrual-detector probe",
+            expect_eviction=True,
+            defaults={"fraction": 0.01, "delay": 2.5, "jitter": 0.0},
+            build=_build_process_delay,
+        ),
+        FaultProfile(
+            name="flip_flop_crash",
+            description="Crash/recover loop (network-level) on a slice of nodes.",
+            figure="Figure 9 (process-level)",
+            expect_eviction=True,
+            defaults={
+                "fraction": 0.01,
+                "down_for": 10.0,
+                "up_for": 10.0,
+                "cycles": 3,
+            },
+            build=_build_flip_flop_crash,
+        ),
+        FaultProfile(
+            name="rack_crash",
+            description="Correlated fail-stop of one whole rack.",
+            figure="section 7.2 (correlated failures)",
+            expect_eviction=True,
+            defaults={"racks": 8, "rack": 1},
+            build=_build_rack_crash,
+        ),
+        FaultProfile(
+            name="rack_partition",
+            description="One rack partitioned from the rest of the cluster.",
+            figure="section 7.2 (correlated failures)",
+            expect_eviction=True,
+            defaults={"racks": 8, "rack": 1, "loss": 1.0, "one_way": False},
+            build=_build_rack_partition,
+        ),
+        FaultProfile(
+            name="network_flap",
+            description="Cluster-wide loss bursts (on/off); a stable service "
+            "rides them out without evictions.",
+            figure="global flap composite",
+            expect_eviction=False,
+            defaults={"loss": 1.0, "period_on": 2.0, "period_off": 8.0},
+            build=_build_network_flap,
+        ),
+    )
+}
+
+
+def profile_names() -> tuple[str, ...]:
+    """Registered profile names, sorted for stable CLI listings."""
+    return tuple(sorted(PROFILES))
+
+
+def compile_profile(
+    name: str,
+    nodes: Sequence[Endpoint],
+    seed: int,
+    fault_start: float,
+    overrides: Mapping | None = None,
+) -> CompiledProfile:
+    """Instantiate a named profile against a concrete cluster.
+
+    ``overrides`` must be a subset of the profile's default params —
+    unknown keys fail loudly so sweep grids cannot silently typo a knob.
+    Faulty-node choice derives from ``child_rng(seed, "fault-profile",
+    name)``: same inputs, same afflicted nodes, byte-identical runs.
+    """
+    try:
+        profile = PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name!r}; choose from {profile_names()}"
+        )
+    params = dict(profile.defaults)
+    for key, value in (overrides or {}).items():
+        if key not in params:
+            raise ValueError(
+                f"profile {name!r} has no parameter {key!r}; "
+                f"valid: {sorted(params) or '(none)'}"
+            )
+        params[key] = value
+    rng = child_rng(seed, "fault-profile", name)
+    rules, actions, faulty = profile.build(tuple(nodes), fault_start, params, rng)
+    return CompiledProfile(
+        name=name,
+        rules=tuple(rules),
+        actions=tuple(sorted(actions, key=lambda a: a.time)),
+        faulty=frozenset(faulty),
+        expect_eviction=profile.expect_eviction,
+        params=params,
+    )

@@ -227,8 +227,14 @@ class Network:
         self._handlers: dict[Endpoint, Callable[[Endpoint, Any], None]] = {}
         self._crashed: set[Endpoint] = set()
         self._rules: list[FaultRule] = []
+        # Delay rules (FaultRule.adds_delay) live on their own list with
+        # their own RNG stream: the drop loop never sees them and their
+        # jitter draws never perturb loss sampling, so installing one
+        # cannot shift the deterministic trace of unrelated traffic.
+        self._delay_rules: list[FaultRule] = []
         self._latency_rng = child_rng(seed, "network", "latency")
         self._loss_rng = child_rng(seed, "network", "loss")
+        self._delay_rng = child_rng(seed, "network", "delay")
         self.stats: dict[Endpoint, BandwidthStats] = defaultdict(BandwidthStats)
         # Per-second buckets: {endpoint: {second: [tx_bytes, rx_bytes]}}.
         # Plain nested dicts with int keys — this is touched on every
@@ -298,17 +304,29 @@ class Network:
         self._handlers.pop(addr, None)
 
     def add_rule(self, rule: FaultRule) -> FaultRule:
-        """Install a fault rule; returns it so callers can remove it later."""
-        self._rules.append(rule)
+        """Install a fault rule; returns it so callers can remove it later.
+
+        Delay rules (``rule.adds_delay``) are kept on a separate list
+        consulted only when computing delivery latency; drop rules join
+        the per-message drop loop.
+        """
+        if rule.adds_delay:
+            self._delay_rules.append(rule)
+        else:
+            self._rules.append(rule)
         return rule
 
     def remove_rule(self, rule: FaultRule) -> None:
         """Uninstall a previously added fault rule."""
-        self._rules.remove(rule)
+        if rule.adds_delay:
+            self._delay_rules.remove(rule)
+        else:
+            self._rules.remove(rule)
 
     def clear_rules(self) -> None:
         """Remove every installed fault rule."""
         self._rules.clear()
+        self._delay_rules.clear()
 
     # ----------------------------------------------------------------- faults
 
@@ -346,6 +364,10 @@ class Network:
                     self._dropped_counter.inc()
                     return
         delay = self.latency.sample(self._latency_rng, size)
+        if self._delay_rules:
+            now = self.engine.now
+            for rule in self._delay_rules:
+                delay += rule.added_delay(src, dst, now, self._delay_rng)
         self.engine.post(delay, self._deliver, src, dst, msg, size)
 
     def broadcast(self, src: Endpoint, dsts: Sequence[Endpoint], msg: Any) -> None:
@@ -407,7 +429,29 @@ class Network:
         if not targets:
             return
         delay = self.latency.sample(self._latency_rng, size)
-        self.engine.post(delay, self._deliver_many, src, targets, msg, size)
+        delay_rules = self._delay_rules
+        if not delay_rules:
+            self.engine.post(delay, self._deliver_many, src, targets, msg, size)
+            return
+        # Delay rules can slow different recipients differently, so the
+        # storm splits into one delivery event per distinct extra delay
+        # (recipients without extra delay stay batched together).
+        now = self.engine.now
+        delay_rng = self._delay_rng
+        groups: dict[float, list] = {}
+        for dst in targets:
+            extra = 0.0
+            for rule in delay_rules:
+                extra += rule.added_delay(src, dst, now, delay_rng)
+            group = groups.get(extra)
+            if group is None:
+                groups[extra] = [dst]
+            else:
+                group.append(dst)
+        for extra, group in sorted(groups.items()):
+            self.engine.post(
+                delay + extra, self._deliver_many, src, group, msg, size
+            )
 
     def _deliver(self, src: Endpoint, dst: Endpoint, msg: Any, size: int) -> None:
         handler = self._handlers.get(dst)

@@ -1,0 +1,129 @@
+"""Sweep execution: run grid points, collect long-format metric rows.
+
+Each :class:`~repro.sweep.grid.SweepPoint` dispatches through
+:data:`repro.experiments.scenarios.SCENARIO_FUNCTIONS` and yields one CSV
+row per *scalar* result key (``scenario,profile,system,n,seed,metric,``
+``value``).  Container-valued results (timeseries, per-node lists, the
+harness itself) are dropped: the sweep is the cheap long-format view;
+``python -m repro.bench`` keeps the rich per-case snapshots.
+
+Determinism contract: every value that lands in a row derives only from
+the simulation (virtual time, seeded RNG), never from wall clock — so the
+sha256 in :func:`sweep_hash` is reproducible run-to-run and machine-to-
+machine, and CI can assert byte-identical CSVs for identical grids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.experiments import scenarios
+from repro.sweep.grid import SweepPoint
+
+__all__ = [
+    "CSV_HEADER",
+    "run_point",
+    "run_sweep",
+    "rows_to_csv",
+    "write_sweep_csv",
+    "sweep_hash",
+]
+
+CSV_HEADER = "scenario,profile,system,n,seed,metric,value"
+
+#: Result keys that duplicate the row's identity columns.
+_IDENTITY_KEYS = frozenset({"system", "n", "profile"})
+
+
+def _format_value(value) -> Optional[str]:
+    """Canonical CSV rendering of one scalar metric, or None to skip.
+
+    Bools become 0/1, None becomes ``NA`` (ran, no measurement — e.g.
+    detection latency when nothing was evicted); floats use ``repr`` for
+    shortest-roundtrip stability.  Containers and strings are skipped.
+    """
+    if value is None:
+        return "NA"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return None
+
+
+def point_rows(point: SweepPoint, result: dict) -> list:
+    """Long-format rows for one finished run, in sorted metric order."""
+    rows = []
+    for metric in sorted(result):
+        if metric in _IDENTITY_KEYS:
+            continue
+        rendered = _format_value(result[metric])
+        if rendered is None:
+            continue
+        rows.append(
+            (
+                point.scenario,
+                point.profile,
+                point.system,
+                str(point.n),
+                str(point.seed),
+                metric,
+                rendered,
+            )
+        )
+    return rows
+
+
+def run_point(point: SweepPoint) -> list:
+    """Execute one sweep point and return its metric rows."""
+    try:
+        fn = scenarios.SCENARIO_FUNCTIONS[point.scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {point.scenario!r}; choose from "
+            f"{sorted(scenarios.SCENARIO_FUNCTIONS)}"
+        )
+    result = fn(point.system, point.n, seed=point.seed, **point.call_kwargs())
+    return point_rows(point, result)
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    log: Optional[Callable[[str], None]] = None,
+) -> list:
+    """Run every point in order; returns all rows (grid order preserved)."""
+    rows: list = []
+    for i, point in enumerate(points):
+        started = time.perf_counter()
+        point_result = run_point(point)
+        rows.extend(point_result)
+        if log is not None:
+            wall = time.perf_counter() - started
+            log(
+                f"[{i + 1}/{len(points)}] {point.name}: "
+                f"{len(point_result)} metrics in {wall:.1f}s"
+            )
+    return rows
+
+
+def rows_to_csv(rows: Iterable[tuple]) -> str:
+    """Render rows as CSV text (header + one line per row, LF endings)."""
+    lines = [CSV_HEADER]
+    lines.extend(",".join(row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def write_sweep_csv(rows: Sequence[tuple], path: str) -> str:
+    """Write the long-format CSV; returns ``path``."""
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(rows_to_csv(rows))
+    return path
+
+
+def sweep_hash(rows: Sequence[tuple]) -> str:
+    """sha256 over the canonical CSV text — the determinism fingerprint."""
+    return hashlib.sha256(rows_to_csv(rows).encode("utf-8")).hexdigest()

@@ -1,9 +1,14 @@
 """Shared pytest configuration.
 
-Registers the ``microbench`` marker: focused timing tests that assert
-rough throughput floors for the simulator's hot paths.  They are skipped
-by default (tier-1 must stay deterministic and load-independent); opt in
-with ``pytest --microbench``.
+Registers two opt-in markers:
+
+* ``microbench`` — focused timing tests that assert rough throughput
+  floors for the simulator's hot paths.  Skipped by default (tier-1 must
+  stay deterministic and load-independent); opt in with
+  ``pytest --microbench``.
+* ``slow`` — multi-minute scenario tests (the n=256 stability-gap
+  comparison across systems).  Skipped by default to keep tier-1 fast;
+  opt in with ``pytest --slow``.
 """
 
 import pytest
@@ -16,6 +21,12 @@ def pytest_addoption(parser):
         default=False,
         help="run microbenchmark timing tests (skipped by default)",
     )
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="run multi-minute scenario tests (skipped by default)",
+    )
 
 
 def pytest_configure(config):
@@ -23,12 +34,23 @@ def pytest_configure(config):
         "markers",
         "microbench: hot-path timing test, skipped unless --microbench is given",
     )
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-minute scenario test, skipped unless --slow is given",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--microbench"):
+    skips = []
+    if not config.getoption("--microbench"):
+        skips.append(
+            ("microbench", pytest.mark.skip(reason="microbenchmark; run with --microbench"))
+        )
+    if not config.getoption("--slow"):
+        skips.append(("slow", pytest.mark.skip(reason="slow; run with --slow")))
+    if not skips:
         return
-    skip = pytest.mark.skip(reason="microbenchmark; run with --microbench")
     for item in items:
-        if "microbench" in item.keywords:
-            item.add_marker(skip)
+        for keyword, marker in skips:
+            if keyword in item.keywords:
+                item.add_marker(marker)

@@ -1,0 +1,340 @@
+"""Direct tests for fault-rule semantics (:mod:`repro.sim.faults`).
+
+Covers the rule algebra the adversarial experiments depend on: activity
+window boundaries, flip-flop phasing, one-way partitions, ingress/egress
+asymmetry, delay-rule delivery, schedule expansion, and the determinism
+of probabilistic rules under the network's seeded RNG streams.
+"""
+
+import math
+
+import pytest
+
+from repro.core.messages import Probe
+from repro.core.node_id import Endpoint
+from repro.sim.engine import Engine
+from repro.sim.faults import (
+    AmbientLoss,
+    Blackhole,
+    CrashSchedule,
+    EgressDelay,
+    EgressLoss,
+    FlipFlopCrash,
+    IngressDelay,
+    IngressLoss,
+    LinkDelay,
+    PairLoss,
+    Partition,
+    ProcessDelay,
+    ScheduledAction,
+    rack_assignment,
+    rack_members,
+)
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+
+
+def make_network(seed: int = 1):
+    engine = Engine()
+    return engine, Network(engine, seed=seed, latency=ConstantLatency(0.001))
+
+
+def endpoints(n: int):
+    return [Endpoint(f"10.0.0.{i + 1}", 5000) for i in range(n)]
+
+
+def probe(sender, seq=1):
+    return Probe(sender=sender, config_id=1, seq=seq)
+
+
+class TestValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="window is empty"):
+            AmbientLoss(probability=0.5, start=10.0, end=5.0)
+
+    def test_flip_flop_requires_both_periods(self):
+        with pytest.raises(ValueError, match="both period_on and period_off"):
+            IngressLoss(nodes=frozenset(endpoints(1)), period_on=20.0)
+        with pytest.raises(ValueError, match="both period_on and period_off"):
+            IngressLoss(nodes=frozenset(endpoints(1)), period_off=20.0)
+
+    def test_zero_length_cycle_rejected(self):
+        # Used to divide by zero inside active(); now fails at construction.
+        with pytest.raises(ValueError, match="periods must be positive"):
+            AmbientLoss(probability=1.0, period_on=0.0, period_off=0.0)
+        with pytest.raises(ValueError, match="periods must be positive"):
+            AmbientLoss(probability=1.0, period_on=5.0, period_off=-1.0)
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(ValueError, match="probability"):
+            AmbientLoss(probability=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            PairLoss(*endpoints(2), probability=-0.1)
+
+    def test_delay_and_jitter_must_be_non_negative(self):
+        nodes = frozenset(endpoints(1))
+        with pytest.raises(ValueError, match="delay"):
+            IngressDelay(nodes=nodes, delay=-0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            IngressDelay(nodes=nodes, delay=0.5, jitter=-0.1)
+
+    def test_scheduled_action_verb_checked(self):
+        with pytest.raises(ValueError, match="unknown action"):
+            ScheduledAction(1.0, "reboot", tuple(endpoints(1)))
+
+    def test_flip_flop_crash_validation(self):
+        nodes = tuple(endpoints(1))
+        with pytest.raises(ValueError, match="periods must be positive"):
+            FlipFlopCrash(nodes=nodes, down_for=0.0)
+        with pytest.raises(ValueError, match="cycles"):
+            FlipFlopCrash(nodes=nodes, cycles=0)
+
+    def test_rack_count_checked(self):
+        with pytest.raises(ValueError, match="racks"):
+            rack_assignment(endpoints(4), 0)
+
+
+class TestActivityWindow:
+    def test_half_open_window_boundaries(self):
+        rule = AmbientLoss(probability=1.0, start=10.0, end=20.0)
+        assert not rule.active(9.999)
+        assert rule.active(10.0)  # inclusive start
+        assert rule.active(19.999)
+        assert not rule.active(20.0)  # exclusive end
+        assert not rule.active(25.0)
+
+    def test_unbounded_window_is_always_active(self):
+        rule = AmbientLoss(probability=1.0)
+        assert rule.active(0.0)
+        assert rule.active(1e9)
+        assert rule.end == math.inf
+
+    def test_flip_flop_phasing(self):
+        rule = AmbientLoss(
+            probability=1.0, start=10.0, period_on=5.0, period_off=5.0
+        )
+        assert not rule.active(9.0)  # before the window
+        assert rule.active(10.0)  # first on-phase begins at start
+        assert rule.active(14.999)
+        assert not rule.active(15.0)  # off-phase is half-open too
+        assert not rule.active(19.999)
+        assert rule.active(20.0)  # second cycle
+        assert not rule.active(26.0)
+
+    def test_flip_flop_respects_outer_window(self):
+        rule = AmbientLoss(
+            probability=1.0,
+            start=0.0,
+            end=12.0,
+            period_on=5.0,
+            period_off=5.0,
+        )
+        assert rule.active(11.0)  # second on-phase, inside the window
+        assert not rule.active(12.0)  # window closed mid-phase
+
+
+class TestDirectionality:
+    def test_ingress_loss_is_one_way(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: got.append(("a", m.seq)))
+        network.register(b, lambda s, m: got.append(("b", m.seq)))
+        network.add_rule(IngressLoss(nodes=frozenset({b}), probability=1.0))
+        network.send(a, b, probe(a, seq=1))  # toward b: dropped
+        network.send(b, a, probe(b, seq=2))  # from b: delivered
+        engine.run()
+        assert got == [("a", 2)]
+
+    def test_egress_loss_is_the_mirror_image(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: got.append(("a", m.seq)))
+        network.register(b, lambda s, m: got.append(("b", m.seq)))
+        network.add_rule(EgressLoss(nodes=frozenset({b}), probability=1.0))
+        network.send(a, b, probe(a, seq=1))  # toward b: delivered
+        network.send(b, a, probe(b, seq=2))  # from b: dropped
+        engine.run()
+        assert got == [("b", 1)]
+
+    def test_one_way_partition(self):
+        a, b, c, d = endpoints(4)
+        rule = Partition(
+            group_a=frozenset({a, b}), group_b=frozenset({c, d}), one_way=True
+        )
+        assert rule.matches(a, c)
+        assert rule.matches(b, d)
+        assert not rule.matches(c, a)  # reverse direction unaffected
+        assert not rule.matches(a, b)  # intra-group unaffected
+        two_way = Partition(
+            group_a=frozenset({a, b}), group_b=frozenset({c, d})
+        )
+        assert two_way.matches(c, a)
+
+    def test_partition_probability_yields_partial_loss(self):
+        a, b, c, d = endpoints(4)
+        lossless = Partition(
+            group_a=frozenset({a}), group_b=frozenset({c}), probability=0.0
+        )
+        engine, network = make_network()
+        got = []
+        network.register(c, lambda s, m: got.append(m.seq))
+        network.register(a, lambda s, m: None)
+        network.add_rule(lossless)
+        network.send(a, c, probe(a))
+        engine.run()
+        assert got == [1]  # matches, but probability 0 never drops
+
+    def test_blackhole_is_a_labelled_pair_loss(self):
+        a, b = endpoints(2)
+        rule = Blackhole(a, b)
+        assert isinstance(rule, PairLoss)
+        assert rule.kind == "Blackhole"
+        assert rule.matches(a, b) and rule.matches(b, a)
+        assert rule.drop_probability(a, b) == 1.0
+        plain = PairLoss(a=a, b=b, probability=0.5)
+        assert plain.kind == "PairLoss"
+
+
+class TestDelayRules:
+    def test_ingress_delay_slows_delivery_without_dropping(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        arrivals = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: arrivals.append(engine.now))
+        network.add_rule(IngressDelay(nodes=frozenset({b}), delay=0.5))
+        network.send(a, b, probe(a))
+        engine.run()
+        assert len(arrivals) == 1
+        assert arrivals[0] == pytest.approx(0.501)
+        assert network.dropped_messages == 0
+
+    def test_process_delay_hits_both_directions(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        arrivals = {}
+        network.register(a, lambda s, m: arrivals.setdefault("a", engine.now))
+        network.register(b, lambda s, m: arrivals.setdefault("b", engine.now))
+        network.add_rule(ProcessDelay(nodes=frozenset({b}), delay=0.25))
+        network.send(a, b, probe(a, seq=1))
+        network.send(b, a, probe(b, seq=2))
+        engine.run()
+        # Probe toward b and ack from b both gain the delay: RTT +2*delay.
+        assert arrivals["b"] == pytest.approx(0.251)
+        assert arrivals["a"] == pytest.approx(0.251)
+
+    def test_egress_and_link_delay_match_their_directions(self):
+        a, b, c = endpoints(3)
+        egress = EgressDelay(nodes=frozenset({a}), delay=0.1)
+        assert egress.matches(a, b) and not egress.matches(b, a)
+        one_way = LinkDelay(a=a, b=b, delay=0.1, bidirectional=False)
+        assert one_way.matches(a, b) and not one_way.matches(b, a)
+        assert not one_way.matches(a, c)
+
+    def test_inactive_delay_rule_adds_nothing(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        arrivals = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: arrivals.append(engine.now))
+        network.add_rule(
+            IngressDelay(nodes=frozenset({b}), delay=5.0, start=100.0)
+        )
+        network.send(a, b, probe(a))
+        engine.run()
+        assert arrivals[0] == pytest.approx(0.001)
+
+    def test_broadcast_splits_delayed_recipients(self):
+        engine, network = make_network()
+        a, b, c = endpoints(3)
+        arrivals = {}
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: arrivals.setdefault(b, engine.now))
+        network.register(c, lambda s, m: arrivals.setdefault(c, engine.now))
+        network.add_rule(IngressDelay(nodes=frozenset({c}), delay=0.5))
+        network.broadcast(a, [b, c], probe(a))
+        engine.run()
+        assert arrivals[b] == pytest.approx(0.001)
+        assert arrivals[c] == pytest.approx(0.501)
+
+    def test_delay_rules_never_drop(self):
+        a, b = endpoints(2)
+        rule = IngressDelay(nodes=frozenset({b}), delay=1.0)
+        assert rule.adds_delay
+        assert rule.drop_probability(a, b) == 0.0
+        assert not rule.should_drop(a, b, 0.0, None)  # rng never consulted
+
+
+class TestDeterminism:
+    def _ambient_run(self, seed, with_delay_rule=False, sends=200):
+        engine, network = make_network(seed=seed)
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.append(m.seq))
+        network.add_rule(AmbientLoss(probability=0.5))
+        if with_delay_rule:
+            network.add_rule(
+                IngressDelay(nodes=frozenset({b}), delay=0.2, jitter=0.1)
+            )
+        for seq in range(sends):
+            network.send(a, b, probe(a, seq=seq))
+        engine.run()
+        return sorted(got)
+
+    def test_ambient_loss_is_deterministic_per_seed(self):
+        first = self._ambient_run(seed=7)
+        second = self._ambient_run(seed=7)
+        assert first == second
+        assert 0 < len(first) < 200  # actually lossy, not degenerate
+        assert self._ambient_run(seed=8) != first
+
+    def test_delay_rules_do_not_perturb_loss_sampling(self):
+        # Delay jitter draws come from a separate RNG stream, so adding a
+        # delay rule must not change which packets the loss rule drops.
+        assert self._ambient_run(seed=7) == self._ambient_run(
+            seed=7, with_delay_rule=True
+        )
+
+    def test_rng_for_streams_are_independent(self):
+        _, network = make_network(seed=3)
+        aux = network.rng_for("bootstrap")
+        again = network.rng_for("bootstrap")
+        other = network.rng_for("join_churn")
+        draws = [aux.random() for _ in range(4)]
+        assert draws == [again.random() for _ in range(4)]
+        assert draws != [other.random() for _ in range(4)]
+
+
+class TestSchedules:
+    def test_flip_flop_crash_expansion(self):
+        nodes = tuple(endpoints(2))
+        loop = FlipFlopCrash(
+            nodes=nodes, start=30.0, down_for=10.0, up_for=5.0, cycles=2
+        )
+        actions = loop.schedule()
+        assert [(a.time, a.action) for a in actions] == [
+            (30.0, "netdown"),
+            (40.0, "netup"),
+            (45.0, "netdown"),
+            (55.0, "netup"),
+        ]
+        assert all(a.nodes == nodes for a in actions)
+
+    def test_crash_schedule_is_a_single_fail_stop(self):
+        nodes = tuple(endpoints(3))
+        (action,) = CrashSchedule(nodes=nodes, at=12.0).schedule()
+        assert action == ScheduledAction(12.0, "crash", nodes)
+
+    def test_rack_assignment_round_robin(self):
+        eps = endpoints(8)
+        assignment = rack_assignment(eps, 3)
+        assert assignment[eps[0]] == 0
+        assert assignment[eps[1]] == 1
+        assert assignment[eps[2]] == 2
+        assert assignment[eps[3]] == 0
+        rack0 = rack_members(assignment, 0)
+        assert rack0 == frozenset({eps[0], eps[3], eps[6]})
+        assert rack_members(assignment, 5) == frozenset()
