@@ -87,8 +87,22 @@ class AkkaNode(MembershipAgent):
         self.state: dict[Endpoint, list] = {self.addr: [UP, 0]}
         self._detectors: dict[Endpoint, PhiAccrualDetector] = {}
         self._unreachable_since: dict[Endpoint, float] = {}
+        # Derived-state caches, all invalidated together on any mutation of
+        # ``state``.  In a converged cluster every gossip tick/merge would
+        # otherwise rebuild O(n log n) sorted tuples, which dominates large-n
+        # simulation cost.
+        self._cached_view: Optional[tuple] = None
+        self._cached_snapshot: Optional[tuple] = None
+        self._cached_peers: Optional[list] = None
+        self._cached_targets: Optional[list] = None
         self._started = False
         runtime.attach(self.on_message)
+
+    def _invalidate(self) -> None:
+        self._cached_view = None
+        self._cached_snapshot = None
+        self._cached_peers = None
+        self._cached_targets = None
 
     def start(self) -> None:
         if self._started:
@@ -107,20 +121,29 @@ class AkkaNode(MembershipAgent):
         self.runtime.schedule(self.config.fd_check_interval, self._fd_check)
 
     def view(self) -> tuple:
-        return tuple(sorted(ep for ep, (status, _) in self.state.items() if status == UP))
+        if self._cached_view is None:
+            self._cached_view = tuple(
+                sorted(ep for ep, (status, _) in self.state.items() if status == UP)
+            )
+        return self._cached_view
 
     # ------------------------------------------------------------- monitoring
 
     def _monitor_targets(self) -> list:
         """Ring neighbors in sorted order (Akka's heartbeat topology)."""
-        members = sorted(
-            ep for ep, (status, _) in self.state.items() if status != REMOVED
-        )
-        if self.addr not in members or len(members) < 2:
-            return []
-        idx = members.index(self.addr)
-        count = min(self.config.monitored_members, len(members) - 1)
-        return [members[(idx + i + 1) % len(members)] for i in range(count)]
+        if self._cached_targets is None:
+            members = sorted(
+                ep for ep, (status, _) in self.state.items() if status != REMOVED
+            )
+            if self.addr not in members or len(members) < 2:
+                self._cached_targets = []
+            else:
+                idx = members.index(self.addr)
+                count = min(self.config.monitored_members, len(members) - 1)
+                self._cached_targets = [
+                    members[(idx + i + 1) % len(members)] for i in range(count)
+                ]
+        return self._cached_targets
 
     def _heartbeat_tick(self) -> None:
         for target in self._monitor_targets():
@@ -160,6 +183,7 @@ class AkkaNode(MembershipAgent):
         record = self.state.get(target)
         version = (record[1] if record else 0) + 1
         self.state[target] = [status, version]
+        self._invalidate()
         if status == UNREACHABLE:
             self._unreachable_since.setdefault(target, self.runtime.now())
         self._notify(before)
@@ -167,20 +191,27 @@ class AkkaNode(MembershipAgent):
     # ----------------------------------------------------------------- gossip
 
     def _gossip_tick(self) -> None:
-        peers = [
-            ep
-            for ep, (status, _) in self.state.items()
-            if ep != self.addr and status != REMOVED
-        ]
+        if self._cached_peers is None:
+            # Insertion order, not sorted: the random peer pick must draw
+            # from the same sequence as the uncached implementation.
+            self._cached_peers = [
+                ep
+                for ep, (status, _) in self.state.items()
+                if ep != self.addr and status != REMOVED
+            ]
+        peers = self._cached_peers
         if peers:
             peer = peers[self.runtime.rng.randrange(len(peers))]
             self.runtime.send(peer, AkkaGossip(sender=self.addr, state=self._snapshot()))
         self.runtime.schedule(self.config.gossip_interval, self._gossip_tick)
 
     def _snapshot(self) -> tuple:
-        return tuple(
-            (ep, status, version) for ep, (status, version) in sorted(self.state.items())
-        )
+        if self._cached_snapshot is None:
+            self._cached_snapshot = tuple(
+                (ep, status, version)
+                for ep, (status, version) in sorted(self.state.items())
+            )
+        return self._cached_snapshot
 
     # --------------------------------------------------------------- messages
 
@@ -195,6 +226,7 @@ class AkkaNode(MembershipAgent):
         elif isinstance(msg, AkkaJoin):
             before = self.view()
             self.state[msg.sender] = [UP, self.state.get(msg.sender, [UP, 0])[1] + 1]
+            self._invalidate()
             self.runtime.send(msg.sender, AkkaGossip(sender=self.addr, state=self._snapshot()))
             self._notify(before)
         elif isinstance(msg, AkkaGossip):
@@ -204,10 +236,19 @@ class AkkaNode(MembershipAgent):
         if endpoint not in self.state:
             before = self.view()
             self.state[endpoint] = [UP, 1]
+            self._invalidate()
             self._notify(before)
 
     def _merge(self, snapshot: tuple) -> None:
+        if snapshot == self._snapshot():
+            # Converged steady state: the incoming full-state gossip carries
+            # exactly what we already believe, so the per-entry merge below
+            # is a no-op (every version ties and every rank ties; our own
+            # entry is UP so no refutation fires).  Skipping it is the hot
+            # path at large n.
+            return
         before = self.view()
+        changed = False
         for endpoint, status, version in snapshot:
             if endpoint == self.addr:
                 # Refute unreachability claims about ourselves; removal is
@@ -215,19 +256,24 @@ class AkkaNode(MembershipAgent):
                 mine = self.state[self.addr]
                 if status == UNREACHABLE and version >= mine[1]:
                     self.state[self.addr] = [UP, version + 1]
+                    changed = True
                 continue
             record = self.state.get(endpoint)
             if record is None:
                 if status != REMOVED:
                     self.state[endpoint] = [status, version]
+                    changed = True
                 continue
             if version > record[1] or (
                 version == record[1] and _RANK[status] > _RANK[record[0]]
             ):
                 record[0] = status
                 record[1] = version
+                changed = True
                 if status == UNREACHABLE:
                     self._unreachable_since.setdefault(endpoint, self.runtime.now())
+        if changed:
+            self._invalidate()
         self._notify(before)
 
     def _notify(self, before: tuple) -> None:

@@ -83,7 +83,13 @@ NONDETERMINISTIC_FIELDS = frozenset(
 )
 
 # Result keys that are either unserializable or too bulky for BENCH files.
-_RESULT_EXCLUDE = {"harness", "timeseries", "per_node_times"}
+_RESULT_EXCLUDE = {
+    "harness",
+    "timeseries",
+    "per_node_times",
+    "app_latency_series",
+    "app_goodput_series",
+}
 
 
 @dataclass
@@ -333,6 +339,13 @@ def _headline(case: CaseResult) -> str:
             f" flaps={result.get('flap_events')}"
             f" removed={result.get('faulty_removed')}"
         )
+    if case.spec.scenario in ("service_discovery", "txn_platform"):
+        p99 = result.get("latency_p99")
+        return (
+            f"goodput={result.get('goodput_rps')}"
+            f" ok={result.get('success_rate')}"
+            f" p99={p99 if p99 is None else format(p99, '.3f')}"
+        )
     return ""
 
 
@@ -352,6 +365,12 @@ def _series(outcome: dict) -> dict:
         series["node_convergence"] = {
             str(ep): t for ep, t in sorted(per_node.items())
         }
+    app_latency = outcome.get("app_latency_series")
+    if app_latency:
+        series["app_latency"] = [tuple(row) for row in app_latency]
+    app_goodput = outcome.get("app_goodput_series")
+    if app_goodput:
+        series["app_goodput"] = [tuple(row) for row in app_goodput]
     return series
 
 
@@ -364,7 +383,11 @@ def write_timeseries_csv(cases: Sequence[CaseResult], path: str) -> Path:
       per-step spread of believed cluster sizes (Figures 1 and 7-10);
     * ``node_convergence_ecdf`` — ``time`` is a node's first convergence
       time, ``value`` the cumulative fraction of nodes converged by then
-      (Figure 6; the maximum ``time`` is the Figure 5 bootstrap latency).
+      (Figure 6; the maximum ``time`` is the Figure 5 bootstrap latency);
+    * ``app_latency_p50`` / ``app_latency_p99`` / ``app_latency_max`` —
+      per-bucket request latency through the run, keyed by *intended*
+      arrival time (Figures 12/13; empty buckets are skipped);
+    * ``app_goodput`` — per-bucket completed requests per second.
 
     Rows are emitted in case order, then time order — deterministic for
     same-seed runs, and directly consumable by any plotting tool.
@@ -388,6 +411,14 @@ def write_timeseries_csv(cases: Sequence[CaseResult], path: str) -> Path:
                 writer.writerow(
                     [name, "node_convergence_ecdf", t, (i + 1) / len(times)]
                 )
+            for t, p50, p99, mx in case.series.get("app_latency", ()):
+                if p50 is None:
+                    continue
+                writer.writerow([name, "app_latency_p50", t, p50])
+                writer.writerow([name, "app_latency_p99", t, p99])
+                writer.writerow([name, "app_latency_max", t, mx])
+            for t, rps in case.series.get("app_goodput", ()):
+                writer.writerow([name, "app_goodput", t, rps])
     return out
 
 

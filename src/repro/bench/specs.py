@@ -17,7 +17,15 @@ from typing import Callable
 
 __all__ = ["BenchSpec", "SUITES", "suite_specs"]
 
-SCENARIOS = ("bootstrap", "crash", "join_churn", "packet_loss", "adversary")
+SCENARIOS = (
+    "bootstrap",
+    "crash",
+    "join_churn",
+    "packet_loss",
+    "adversary",
+    "service_discovery",
+    "txn_platform",
+)
 
 
 def _format_param(value) -> str:
@@ -122,6 +130,23 @@ def quick_suite() -> list:
             seed=1,
             params={"loss": 0.8, "direction": "egress", "observe_for": 60.0},
         ),
+        # App-tier gate: serve open-loop traffic through a fault on every
+        # CI run, exercising the resilience tier (retries, hedging,
+        # breakers, deadline propagation) and the app SLO scorecard.
+        BenchSpec(
+            "service_discovery",
+            "rapid",
+            8,
+            seed=1,
+            params={"profile": "flip_flop", "fault_at": 5.0, "observe_for": 15.0},
+        ),
+        BenchSpec(
+            "txn_platform",
+            "rapid",
+            8,
+            seed=1,
+            params={"profile": "blackhole", "fault_at": 5.0, "observe_for": 15.0},
+        ),
     ]
 
 
@@ -185,6 +210,45 @@ def full_suite() -> list:
             1000,
             seed=1,
             params={"profile": "asymmetric_ingress", "observe_for": 90.0},
+        ),
+        # Served-traffic end points (Figures 12-13): application workloads at
+        # the paper's n=1000 operating point, under the flip-flop and
+        # blackhole profiles, for Rapid and the akka gossip baseline.  The
+        # app scorecard scalars (goodput, tail latency pre/post fault,
+        # reloads/failovers, retries per request) land in result.* so the
+        # end-to-end gap is tracked over time like the membership-level
+        # stability claims above.
+        BenchSpec(
+            "service_discovery", "rapid", 1000, seed=1,
+            params={"profile": "flip_flop"},
+        ),
+        BenchSpec(
+            "service_discovery", "rapid", 1000, seed=1,
+            params={"profile": "blackhole"},
+        ),
+        BenchSpec(
+            "txn_platform", "rapid", 1000, seed=1,
+            params={"profile": "flip_flop"},
+        ),
+        BenchSpec(
+            "txn_platform", "rapid", 1000, seed=1,
+            params={"profile": "blackhole"},
+        ),
+        BenchSpec(
+            "service_discovery", "akka", 1000, seed=1,
+            params={"profile": "flip_flop"},
+        ),
+        BenchSpec(
+            "service_discovery", "akka", 1000, seed=1,
+            params={"profile": "blackhole"},
+        ),
+        BenchSpec(
+            "txn_platform", "akka", 1000, seed=1,
+            params={"profile": "flip_flop"},
+        ),
+        BenchSpec(
+            "txn_platform", "akka", 1000, seed=1,
+            params={"profile": "blackhole"},
         ),
         BenchSpec("bootstrap", "rapid-c", 32, seed=1),
         BenchSpec("bootstrap", "memberlist", 32, seed=1),

@@ -14,10 +14,10 @@ but slow).  Scale via the ``n`` arguments or the benchmark CLI's
 
 from __future__ import annotations
 
-import random
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.stats import summarize
+from repro.apps.resilience import ViewWatcher
 from repro.apps.service_discovery import (
     Backend,
     LoadBalancer,
@@ -25,22 +25,17 @@ from repro.apps.service_discovery import (
     WorkloadGenerator,
 )
 from repro.apps.txn_platform import DataServer, TxnClient, TxnPlatformConfig
-from repro.baselines.gossip_fd import GossipFdConfig, GossipFdNode
-from repro.baselines.swim import SwimConfig, SwimNode
 from repro.core.cut_detector import MultiNodeCutDetector
-from repro.core.membership import RapidNode
 from repro.core.messages import Alert, AlertKind
 from repro.core.node_id import Endpoint
 from repro.core.ring import KRingTopology
-from repro.core.settings import RapidSettings
 from repro.experiments.harness import harness_for
+from repro.obs.app_scorecard import AppScorecard
 from repro.obs.scorecard import StabilityScorecard
 from repro.runtime.dispatch import TypeDispatcher
 from repro.sim.cluster import endpoint_for
-from repro.sim.engine import Engine
 from repro.sim.fault_profiles import compile_profile
-from repro.sim.faults import Blackhole, EgressLoss, IngressLoss
-from repro.sim.network import Network
+from repro.sim.faults import EgressLoss, IngressLoss
 from repro.sim.process import SimRuntime
 from repro.sim.rng import child_rng
 
@@ -482,251 +477,264 @@ def _alerts_for_failures(
     return alerts
 
 
-# ---------------------------------------------------------------- Figure 12:
-# transactional data platform
+# -------------------------------------------------------- Figures 12/13:
+# application tier served through churn
 
 
-def txn_platform_experiment(
-    failure_detector: str = "gossip",
-    n_servers: int = 6,
-    n_clients: int = 2,
-    duration: float = 50.0,
-    fault_at: float = 10.0,
-    seed: int = 0,
-    config: Optional[TxnPlatformConfig] = None,
-) -> dict:
-    """Figure 12: blackhole between the serialization server and one data
-    server, under the all-to-all gossip FD ("gossip") or Rapid ("rapid").
+def _install_profile(
+    harness,
+    endpoints: Sequence[Endpoint],
+    profile: str,
+    seed: int,
+    fault_start: float,
+    profile_overrides: Optional[dict],
+    scorecard_interval: float,
+):
+    """Compile and install a fault profile; return (compiled, scorecard).
 
-    Returns committed counts, latency summaries before/after the fault, and
-    the number of failovers each server observed.
+    Shared plumbing between the app experiments and
+    :func:`adversary_experiment`-style drivers: network rules installed,
+    crash/recover actions scheduled, and a membership
+    :class:`~repro.obs.scorecard.StabilityScorecard` started over the
+    healthy observers.
     """
-    config = config or TxnPlatformConfig()
-    engine = Engine()
-    network = Network(engine, seed=seed)
-    server_eps = [endpoint_for(i) for i in range(n_servers)]
-    client_eps = [Endpoint(f"10.254.0.{i + 1}", 7000) for i in range(n_clients)]
-    servers: list[DataServer] = []
-    agents = []
-    for i, ep in enumerate(server_eps):
-        runtime = SimRuntime(engine, network, ep, seed=seed)
-        dispatcher = TypeDispatcher(runtime)
-        server = DataServer(dispatcher, server_eps, config)
-        servers.append(server)
-        if failure_detector == "gossip":
-            agent = GossipFdNode(
-                _Subruntime(runtime, dispatcher),
-                server_eps,
-                GossipFdConfig(),
-                on_view_change=server.on_view_change,
-            )
-            agent.start()
-        elif failure_detector == "rapid":
-            rapid_settings = RapidSettings(
-                consensus_fallback_timeout=4.0, join_timeout=2.0
-            )
-            node = RapidNode(
-                _Subruntime(runtime, dispatcher),
-                rapid_settings,
-                seeds=(server_eps[0],),
-                on_view_change=lambda event, s=server: s.on_view_change(
-                    event.configuration.members
-                ),
-            )
-            if i == 0:
-                node.start()
-            else:
-                engine.schedule(0.5, node.start)
-        else:
-            raise ValueError(f"unknown failure detector {failure_detector!r}")
-        agents.append(agent if failure_detector == "gossip" else node)
-    clients = [
-        TxnClient(SimRuntime(engine, network, ep, seed=seed), server_eps, config)
-        for ep in client_eps
-    ]
-    engine.run(until=8.0)  # membership settles
-    for client in clients:
-        client.start()
-    start_time = engine.now
-    # The serializer is the lowest-addressed server; blackhole it against
-    # the highest-addressed one (which is not on any client's critical path).
-    serializer = min(server_eps)
-    isolated = max(server_eps)
-    engine.schedule(
-        fault_at, network.add_rule, Blackhole(serializer, isolated)
+    compiled = compile_profile(
+        profile, endpoints, seed, fault_start, overrides=profile_overrides
     )
-    engine.run(until=start_time + duration)
-    for client in clients:
-        client.stop()
-    all_latencies = [item for c in clients for item in c.latencies]
-    before = [lat for t, lat in all_latencies if t < start_time + fault_at]
-    after = [lat for t, lat in all_latencies if t >= start_time + fault_at]
-    committed_after = len(after)
-    throughput_after = committed_after / max(duration - fault_at, 1e-9)
-    throughput_before = len(before) / max(fault_at, 1e-9)
-    return {
-        "failure_detector": failure_detector,
-        "committed": sum(c.committed for c in clients),
-        "retries": sum(c.retries for c in clients),
-        "failovers": max(s.failovers_observed for s in servers),
-        "latency_before_ms": summarize([v * 1000 for v in before]),
-        "latency_after_ms": summarize([v * 1000 for v in after]),
-        "throughput_before": throughput_before,
-        "throughput_after": throughput_after,
-        "latency_series": _latency_series(all_latencies),
-    }
+    for rule in compiled.rules:
+        harness.network.add_rule(rule)
+    for action in compiled.actions:
+        harness.engine.schedule_at(action.time, _apply_action, harness, action)
+    agents = harness.agents
+    healthy = [ep for ep in endpoints if ep not in compiled.faulty]
+    scorecard = StabilityScorecard(
+        engine=harness.engine,
+        views={ep: _view_callable(agents[ep]) for ep in healthy},
+        faulty=compiled.faulty,
+        fault_start=fault_start,
+        interval=scorecard_interval,
+        crashed=lambda ep: harness.runtimes[ep].crashed,
+    )
+    scorecard.start()
+    return compiled, scorecard
 
 
-def _latency_series(latencies: list, bucket: float = 1.0) -> list:
-    from repro.analysis.stats import percentile
-
-    by_bucket: dict[int, list] = {}
-    for t, lat in latencies:
-        by_bucket.setdefault(int(t / bucket), []).append(lat * 1000)
-    return [
-        (b * bucket, percentile(vs, 50), percentile(vs, 99), max(vs))
-        for b, vs in sorted(by_bucket.items())
-    ]
-
-
-# ---------------------------------------------------------------- Figure 13:
-# service discovery
+def _app_report(
+    result: dict,
+    stats: AppScorecard,
+    start: float,
+    end: float,
+    compiled,
+    mem_card,
+    harness,
+    healthy: Sequence[Endpoint],
+) -> dict:
+    """Assemble the flat app-experiment result row plus series payloads."""
+    result.update(stats.report(start, end))
+    result["harness"] = harness
+    result["timeseries"] = harness.trace.aggregate_series(list(healthy), step=5.0)
+    result["app_latency_series"] = stats.latency_series(start, end)
+    result["app_goodput_series"] = stats.goodput_series(start, end)
+    if compiled is not None:
+        result["expect_eviction"] = compiled.expect_eviction
+        result["faulty"] = sorted(str(e) for e in compiled.faulty)
+        result.update(
+            {f"mem_{key}": value for key, value in mem_card.report().items()}
+        )
+    return result
 
 
 def service_discovery_experiment(
-    membership: str = "rapid",
-    n_backends: int = 50,
-    failures: int = 10,
-    fail_at: float = 30.0,
-    duration: float = 60.0,
+    system: str,
+    n: int,
+    profile: Optional[str] = None,
     seed: int = 0,
-    config: Optional[ServiceDiscoveryConfig] = None,
+    fault_at: float = 10.0,
+    observe_for: float = 40.0,
+    settle_timeout: float = 600.0,
+    scorecard_interval: float = 1.0,
+    profile_overrides: Optional[dict] = None,
+    app_config=None,
+    **harness_kwargs,
 ) -> dict:
-    """Figure 13: LB + backend fleet; fail ``failures`` backends mid-run.
+    """Figure 13 end-to-end: LB + backend fleet served through a fault profile.
 
-    ``membership`` is ``"rapid"`` or ``"swim"`` (standing in for Serf).
-    Returns the latency series, reload count, and tail latency after the
-    failure.
+    The load balancer lives on the first member (co-hosted with its
+    membership agent via :meth:`TypeDispatcher.overlay
+    <repro.runtime.dispatch.TypeDispatcher.overlay>`), every other member
+    is a backend, and an external generator offers open-loop load for
+    ``fault_at + observe_for`` seconds.  ``profile`` (any
+    :mod:`repro.sim.fault_profiles` name, or ``None`` for a fault-free
+    run) strikes ``fault_at`` seconds into the workload.  Works against
+    every system in :data:`~repro.experiments.harness.SYSTEMS`, which is
+    the paper's comparison: SWIM-style piecemeal updates trigger a reload
+    storm, Rapid takes one reload.
+
+    Returns flat scalars from the app SLO scorecard (goodput, retry and
+    hedge counts, breaker churn, p50/p99/p999 latency with pre/post-fault
+    splits), ``reloads``, membership stability metrics prefixed ``mem_``,
+    and the ``app_latency_series``/``app_goodput_series`` payloads behind
+    ``repro.bench --timeseries``.
     """
-    config = config or ServiceDiscoveryConfig()
-    engine = Engine()
-    network = Network(engine, seed=seed)
-    lb_ep = Endpoint("10.254.1.1", 80)
-    gen_ep = Endpoint("10.254.1.2", 9999)
-    backend_eps = [endpoint_for(i) for i in range(n_backends)]
-
-    lb_runtime = SimRuntime(engine, network, lb_ep, seed=seed)
-    lb_dispatcher = TypeDispatcher(lb_runtime)
-    lb = LoadBalancer(lb_dispatcher, backend_eps, config)
-
-    backend_runtimes = {}
-    for ep in backend_eps:
-        runtime = SimRuntime(engine, network, ep, seed=seed)
-        dispatcher = TypeDispatcher(runtime)
-        Backend(dispatcher, config)
-        backend_runtimes[ep] = (runtime, dispatcher)
-
-    if membership == "swim":
-        swim_config = SwimConfig()
-        lb_agent = SwimNode(
-            _Subruntime(lb_runtime, lb_dispatcher),
-            seeds=(),
-            config=swim_config,
-            on_view_change=lb.on_view_change,
-        )
-        lb_agent.start()
-        for ep, (runtime, dispatcher) in backend_runtimes.items():
-            agent = SwimNode(
-                _Subruntime(runtime, dispatcher), seeds=(lb_ep,), config=swim_config
-            )
-            engine.schedule(0.5, agent.start)
-    elif membership == "rapid":
-        rapid_settings = RapidSettings(join_timeout=2.0)
-        lb_agent = RapidNode(
-            _Subruntime(lb_runtime, lb_dispatcher),
-            rapid_settings,
-            seeds=(lb_ep,),
-            on_view_change=lambda event: lb.on_view_change(
-                event.configuration.members
-            ),
-        )
-        lb_agent.start()
-        for ep, (runtime, dispatcher) in backend_runtimes.items():
-            node = RapidNode(
-                _Subruntime(runtime, dispatcher), rapid_settings, seeds=(lb_ep,)
-            )
-            engine.schedule(0.5, node.start)
-    else:
-        raise ValueError(f"unknown membership {membership!r}")
-
-    # Wait for discovery to settle, then start the workload clock at 0.
-    engine.run(until=20.0)
+    if isinstance(app_config, dict):
+        app_config = ServiceDiscoveryConfig(**app_config)
+    config = app_config or ServiceDiscoveryConfig()
+    harness = harness_for(system, seed=seed, **harness_kwargs)
+    endpoints = harness.bootstrap(n, seed_delay=5.0, stagger=1.0)
+    settled = harness.run_until_converged(n, timeout=settle_timeout)
+    harness.run_for(5.0)
+    workload_start = harness.engine.now
+    duration = fault_at + observe_for
+    fault_start = workload_start + fault_at if profile is not None else None
+    stats = AppScorecard(fault_start=fault_start)
+    lb_ep = endpoints[0]
+    lb = LoadBalancer(
+        TypeDispatcher.overlay(harness.runtimes[lb_ep]),
+        endpoints[1:],
+        stats,
+        config,
+    )
+    for ep in endpoints[1:]:
+        Backend(TypeDispatcher.overlay(harness.runtimes[ep]), config)
+    watcher = ViewWatcher(
+        harness.runtimes[lb_ep],
+        _view_callable(harness.agents[lb_ep]),
+        lb.on_view_change,
+        interval=0.25,
+    )
+    watcher.start()
     generator = WorkloadGenerator(
-        SimRuntime(engine, network, gen_ep, seed=seed), lb_ep, config
+        SimRuntime(
+            harness.engine, harness.network, Endpoint("10.254.1.2", 9999), seed=seed
+        ),
+        lb_ep,
+        stats,
+        config,
     )
-    generator.start()
-    start_time = engine.now
-    victims = backend_eps[:failures]
-    engine.schedule(
-        fail_at, lambda: [backend_runtimes[ep][0].crash() for ep in victims]
-    )
-    engine.run(until=start_time + duration)
+    generator.start(duration)
+    compiled = mem_card = None
+    healthy: Sequence[Endpoint] = endpoints
+    if profile is not None:
+        compiled, mem_card = _install_profile(
+            harness, endpoints, profile, seed, fault_start,
+            profile_overrides, scorecard_interval,
+        )
+        healthy = [ep for ep in endpoints if ep not in compiled.faulty]
+    harness.run_for(duration + config.request_deadline + 1.0)
     generator.stop()
-    after = [
-        lat * 1000
-        for t, lat in generator.latencies
-        if t - start_time >= fail_at
-    ]
-    before = [
-        lat * 1000
-        for t, lat in generator.latencies
-        if t - start_time < fail_at
-    ]
-    series = [
-        (t - start_time, p50, p99, mx)
-        for t, p50, p99, mx in generator.latency_series()
-        if t >= start_time
-    ]
-    return {
-        "membership": membership,
+    watcher.stop()
+    result = {
+        "system": system,
+        "n": n,
+        "profile": profile or "none",
+        "settled": settled is not None,
         "reloads": lb.reloads,
-        "timeouts": generator.timeouts,
-        "served": len(generator.latencies),
-        "latency_before_ms": summarize(before),
-        "latency_after_ms": summarize(after),
-        "latency_series": series,
     }
+    return _app_report(
+        result, stats, workload_start, workload_start + duration,
+        compiled, mem_card, harness, healthy,
+    )
 
 
-class _Subruntime:
-    """A runtime view that shares a dispatcher-managed endpoint.
+def txn_platform_experiment(
+    system: str,
+    n: int,
+    profile: Optional[str] = None,
+    n_clients: int = 2,
+    seed: int = 0,
+    fault_at: float = 10.0,
+    observe_for: float = 40.0,
+    settle_timeout: float = 600.0,
+    scorecard_interval: float = 1.0,
+    profile_overrides: Optional[dict] = None,
+    app_config=None,
+    **harness_kwargs,
+) -> dict:
+    """Figure 12 end-to-end: txn platform served through a fault profile.
 
-    Protocol agents call ``runtime.attach(handler)`` in their constructors;
-    when an endpoint hosts both an app and a membership agent, the app owns
-    the dispatcher and the agent's attach must land in the dispatcher's
-    default slot instead of clobbering the socket.
+    Every member is a :class:`~repro.apps.txn_platform.DataServer`
+    (co-hosted with its membership agent); ``n_clients`` external clients
+    offer open-loop transactions for ``fault_at + observe_for`` seconds.
+    ``profile="blackhole"`` defaults its pair to ``"edge"`` — the
+    serializer (lowest-addressed member) against the highest-addressed
+    one, the paper's Figure 12 fault — unless the caller overrides
+    ``pair`` explicitly.
+
+    Returns the app SLO scorecard scalars plus ``failovers`` (the max any
+    server observed), membership metrics prefixed ``mem_``, and the
+    timeseries payloads behind ``repro.bench --timeseries``.
     """
-
-    def __init__(self, runtime: SimRuntime, dispatcher: TypeDispatcher) -> None:
-        self._runtime = runtime
-        self._dispatcher = dispatcher
-        self.addr = runtime.addr
-        self.rng = runtime.rng
-
-    def now(self) -> float:
-        return self._runtime.now()
-
-    def schedule(self, delay, fn, *args):
-        return self._runtime.schedule(delay, fn, *args)
-
-    def send(self, dst, msg):
-        self._runtime.send(dst, msg)
-
-    def broadcast(self, dsts, msg):
-        self._runtime.broadcast(dsts, msg)
-
-    def attach(self, handler):
-        self._dispatcher.set_default(handler)
+    if isinstance(app_config, dict):
+        app_config = TxnPlatformConfig(**app_config)
+    config = app_config or TxnPlatformConfig()
+    if profile == "blackhole" and "pair" not in (profile_overrides or {}):
+        profile_overrides = {**(profile_overrides or {}), "pair": "edge"}
+    harness = harness_for(system, seed=seed, **harness_kwargs)
+    endpoints = harness.bootstrap(n, seed_delay=5.0, stagger=1.0)
+    settled = harness.run_until_converged(n, timeout=settle_timeout)
+    harness.run_for(5.0)
+    workload_start = harness.engine.now
+    duration = fault_at + observe_for
+    fault_start = workload_start + fault_at if profile is not None else None
+    stats = AppScorecard(fault_start=fault_start)
+    servers = []
+    watchers = []
+    for ep in endpoints:
+        server = DataServer(
+            TypeDispatcher.overlay(harness.runtimes[ep]),
+            endpoints,
+            config,
+            stats=stats,
+        )
+        watcher = ViewWatcher(
+            harness.runtimes[ep],
+            _view_callable(harness.agents[ep]),
+            server.on_view_change,
+            interval=0.5,
+        )
+        watcher.start()
+        servers.append(server)
+        watchers.append(watcher)
+    clients = [
+        TxnClient(
+            SimRuntime(
+                harness.engine,
+                harness.network,
+                Endpoint(f"10.254.0.{i + 1}", 7000),
+                seed=seed,
+            ),
+            endpoints,
+            stats,
+            config,
+        )
+        for i in range(n_clients)
+    ]
+    for client in clients:
+        client.start(duration)
+    compiled = mem_card = None
+    healthy: Sequence[Endpoint] = endpoints
+    if profile is not None:
+        compiled, mem_card = _install_profile(
+            harness, endpoints, profile, seed, fault_start,
+            profile_overrides, scorecard_interval,
+        )
+        healthy = [ep for ep in endpoints if ep not in compiled.faulty]
+    harness.run_for(duration + config.txn_deadline + 1.0)
+    for client in clients:
+        client.stop()
+    for watcher in watchers:
+        watcher.stop()
+    result = {
+        "system": system,
+        "n": n,
+        "profile": profile or "none",
+        "settled": settled is not None,
+        "failovers": max(s.failovers_observed for s in servers),
+    }
+    return _app_report(
+        result, stats, workload_start, workload_start + duration,
+        compiled, mem_card, harness, healthy,
+    )
 
 
 #: Harness-driven scenarios addressable by name — the dispatch table shared
@@ -739,4 +747,6 @@ SCENARIO_FUNCTIONS = {
     "join_churn": join_churn_experiment,
     "packet_loss": packet_loss_experiment,
     "adversary": adversary_experiment,
+    "service_discovery": service_discovery_experiment,
+    "txn_platform": txn_platform_experiment,
 }

@@ -33,6 +33,24 @@ class TypeDispatcher:
         self._default: Handler | None = None
         runtime.attach(self.dispatch)
 
+    @classmethod
+    def overlay(cls, runtime: Runtime) -> "TypeDispatcher":
+        """Interpose a dispatcher on a runtime that already has a handler.
+
+        The membership agents attach their handler at construction; to
+        co-host an application on the same endpoint afterwards, the
+        existing handler is captured and becomes the dispatcher's default
+        route — app message classes are then claimed with :meth:`add`
+        while everything else keeps flowing to the agent.  Requires a
+        runtime exposing its current handler (``runtime.handler``, see
+        :class:`repro.sim.process.SimRuntime`).
+        """
+        previous = getattr(runtime, "handler", None)
+        dispatcher = cls(runtime)
+        if previous is not None:
+            dispatcher.set_default(previous)
+        return dispatcher
+
     def route(self, *message_types: type) -> Callable[[Handler], Handler]:
         """Decorator form: ``@dispatcher.route(MsgA, MsgB)``."""
 

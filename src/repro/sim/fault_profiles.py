@@ -147,8 +147,15 @@ def _build_asymmetric_ingress(nodes, fault_start, params, rng):
 
 
 def _build_blackhole(nodes, fault_start, params, rng):
-    pool = list(nodes[1:]) if len(nodes) > 2 else list(nodes)
-    a, b = rng.sample(pool, 2)
+    if params.get("pair") == "edge":
+        # Deterministic pair spanning the address range: lowest vs
+        # highest.  The app experiments use this to put the blackhole on
+        # the paper's Figure 12 edge — the transaction serializer (the
+        # lowest-addressed member) against one far data server.
+        a, b = nodes[0], nodes[-1]
+    else:
+        pool = list(nodes[1:]) if len(nodes) > 2 else list(nodes)
+        a, b = rng.sample(pool, 2)
     rule = Blackhole(a, b, start=fault_start)
     return (rule,), (), frozenset((a, b))
 
@@ -252,7 +259,7 @@ PROFILES: dict[str, FaultProfile] = {
             description="Packet blackhole between one pair of processes.",
             figure="Figure 12",
             expect_eviction=False,
-            defaults={},
+            defaults={"pair": "random"},
             build=_build_blackhole,
         ),
         FaultProfile(

@@ -26,7 +26,7 @@ from repro.sim.faults import FaultRule
 from repro.sim.rng import child_rng
 from repro.sim.latency import LanLatency, LatencyModel
 
-__all__ = ["Network", "wire_size", "BandwidthStats"]
+__all__ = ["Network", "wire_size", "register_message_classes", "BandwidthStats"]
 
 _HEADER_BYTES = 28  # IP + UDP header estimate applied to every message.
 
@@ -129,6 +129,40 @@ def _payload_size(value: Any) -> int:
     return _payload_size_slow(value)
 
 
+def _dataclass_sizer(cls: type) -> Callable[[Any], int]:
+    """Compile a field-walking sizer for a dataclass message type."""
+    names = tuple(f.name for f in dataclasses.fields(cls))
+
+    def sizer(v, _names=names) -> int:
+        total = 2
+        for name in _names:
+            total += _payload_size(getattr(v, name))
+        return total
+
+    return sizer
+
+
+def register_message_classes(*classes: type) -> None:
+    """Pre-register exact-type sizers for dataclass message classes.
+
+    Protocol and application modules call this at import time for their
+    wire vocabularies (``HttpRequest``, ``TsRequest``, ``WriteRequest``,
+    …), so ``messages.by_class`` byte accounting covers their traffic
+    from the first message, with no first-encounter compilation in the
+    hot send path.  Types already in the dispatch table (including ones
+    with hand-tuned sizers like ``VoteBundle``) are left untouched.
+    """
+    for cls in classes:
+        if cls in _SIZERS:
+            continue
+        if not dataclasses.is_dataclass(cls):
+            raise TypeError(
+                f"register_message_classes takes dataclass message types, "
+                f"got {cls!r}"
+            )
+        _SIZERS[cls] = _dataclass_sizer(cls)
+
+
 def _payload_size_slow(value: Any) -> int:
     """Sizing fallback for types outside the dispatch table.
 
@@ -139,15 +173,7 @@ def _payload_size_slow(value: Any) -> int:
     """
     cls = value.__class__
     if dataclasses.is_dataclass(cls) and not isinstance(value, type):
-        names = tuple(f.name for f in dataclasses.fields(cls))
-
-        def sizer(v, _names=names) -> int:
-            total = 2
-            for name in _names:
-                total += _payload_size(getattr(v, name))
-            return total
-
-        _SIZERS[cls] = sizer
+        sizer = _SIZERS[cls] = _dataclass_sizer(cls)
         return sizer(value)
     if value is None or isinstance(value, bool):
         return 1

@@ -75,6 +75,17 @@ class SimRuntime:
         """Set the function invoked for every inbound message."""
         self._handler = handler
 
+    @property
+    def handler(self) -> Optional[Callable[[Endpoint, Any], None]]:
+        """The currently attached inbound-message handler (or ``None``).
+
+        Lets a dispatcher overlay an already-wired process — capture the
+        existing handler, attach the dispatcher, and route unclaimed
+        messages back to the original (see
+        :meth:`repro.runtime.dispatch.TypeDispatcher.overlay`).
+        """
+        return self._handler
+
     def crash(self) -> None:
         """Fail-stop this process: timers stop firing, traffic stops."""
         self._crashed = True

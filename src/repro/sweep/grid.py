@@ -19,8 +19,9 @@ Axis names: ``scenario``/``scenarios``, ``system``/``systems``,
 ``profile``/``profiles``, ``n``/``ns``, ``seed``/``seeds`` map to the
 point's identity fields; every other key becomes a keyword argument for
 the scenario function, and list-valued extras are swept like any axis.
-The ``profile`` axis only reaches the scenario call for ``adversary``
-points (other scenarios don't take one); expansion dedupes the points a
+The ``profile`` axis only reaches the scenario call for profile-aware
+scenarios (:data:`PROFILE_SCENARIOS`: ``adversary`` plus the app-tier
+``service_discovery``/``txn_platform``); expansion dedupes the points a
 dangling profile axis would otherwise duplicate.
 """
 
@@ -32,7 +33,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-__all__ = ["SweepPoint", "parse_grid", "expand_grid"]
+__all__ = ["SweepPoint", "PROFILE_SCENARIOS", "parse_grid", "expand_grid"]
+
+#: Scenarios whose functions take a ``profile=`` keyword; for every other
+#: scenario the profile axis is collapsed to ``-`` and not passed through.
+PROFILE_SCENARIOS = frozenset({"adversary", "service_discovery", "txn_platform"})
 
 #: Axis aliases → canonical identity-field name.
 _AXIS_ALIASES = {
@@ -79,7 +84,7 @@ class SweepPoint:
     def call_kwargs(self) -> dict:
         """Keyword arguments for the scenario function."""
         kwargs = {k: thaw(v) for k, v in self.params}
-        if self.scenario == "adversary":
+        if self.scenario in PROFILE_SCENARIOS:
             kwargs["profile"] = self.profile
         return kwargs
 
@@ -180,7 +185,9 @@ def expand_grid(block: Mapping) -> list:
                     n=int(n),
                     seed=int(seed),
                     profile=(
-                        str(profile) if scenario == "adversary" else "-"
+                        str(profile)
+                        if scenario in PROFILE_SCENARIOS
+                        else "-"
                     ),
                     params=params,
                 )

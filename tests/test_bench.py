@@ -23,6 +23,8 @@ class TestSpecs:
             "crash",
             "join_churn",
             "packet_loss",
+            "service_discovery",
+            "txn_platform",
         }
 
     def test_unknown_suite_rejected(self):
