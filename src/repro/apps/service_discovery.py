@@ -42,6 +42,7 @@ from repro.apps.resilience import (
 )
 from repro.core.node_id import Endpoint
 from repro.obs.app_scorecard import AppScorecard
+from repro.runtime import codec as wire_codec
 from repro.runtime.base import Runtime
 from repro.runtime.dispatch import TypeDispatcher
 from repro.sim.network import register_message_classes
@@ -70,7 +71,11 @@ class HttpResponse:
     request_id: int
 
 
+# Registered with both the simulator's sizer and the live wire codec, so
+# the app runs over real sockets (and its traffic is sized) unchanged.
 register_message_classes(HttpRequest, HttpResponse)
+wire_codec.register(HttpRequest)
+wire_codec.register(HttpResponse)
 
 
 @dataclass

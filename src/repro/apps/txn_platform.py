@@ -43,6 +43,7 @@ from repro.apps.resilience import (
 )
 from repro.core.node_id import Endpoint
 from repro.obs.app_scorecard import AppScorecard
+from repro.runtime import codec as wire_codec
 from repro.runtime.base import Runtime
 from repro.runtime.dispatch import TypeDispatcher
 from repro.sim.network import register_message_classes
@@ -115,6 +116,8 @@ class ViewResponse:
     members: tuple = ()
 
 
+# Registered with both the simulator's sizer and the live wire codec, so
+# the app runs over real sockets (and its traffic is sized) unchanged.
 register_message_classes(
     TsRequest,
     TsResponse,
@@ -124,6 +127,17 @@ register_message_classes(
     ViewRequest,
     ViewResponse,
 )
+for _cls in (
+    TsRequest,
+    TsResponse,
+    NotSerializer,
+    WriteRequest,
+    WriteAck,
+    ViewRequest,
+    ViewResponse,
+):
+    wire_codec.register(_cls)
+del _cls
 
 
 @dataclass

@@ -25,6 +25,7 @@ SCENARIOS = (
     "adversary",
     "service_discovery",
     "txn_platform",
+    "live_bootstrap",
 )
 
 
@@ -281,9 +282,26 @@ def full_suite() -> list:
     return specs
 
 
+def live_suite() -> list:
+    """Real-runtime suite: localhost UDP clusters on one event loop.
+
+    Kept out of ``quick``/``full`` because its measurements are wall-clock
+    and machine-local — never part of a determinism gate.  The n=150 case
+    is the acceptance bar for the live runtime: a real 150-node loopback
+    cluster must bootstrap and converge, and its recorded wire bytes are
+    compared against the simulator's sized estimate for the same traffic
+    (``result.sim_estimate_ratio``).
+    """
+    return [
+        BenchSpec("live_bootstrap", "rapid", 50, seed=1),
+        BenchSpec("live_bootstrap", "rapid", 150, seed=1),
+    ]
+
+
 SUITES: dict[str, Callable[[], list]] = {
     "quick": quick_suite,
     "full": full_suite,
+    "live": live_suite,
 }
 
 

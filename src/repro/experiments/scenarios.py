@@ -30,6 +30,7 @@ from repro.core.messages import Alert, AlertKind
 from repro.core.node_id import Endpoint
 from repro.core.ring import KRingTopology
 from repro.experiments.harness import harness_for
+from repro.experiments.live import live_bootstrap_experiment
 from repro.obs.app_scorecard import AppScorecard
 from repro.obs.scorecard import StabilityScorecard
 from repro.runtime.dispatch import TypeDispatcher
@@ -749,4 +750,5 @@ SCENARIO_FUNCTIONS = {
     "adversary": adversary_experiment,
     "service_discovery": service_discovery_experiment,
     "txn_platform": txn_platform_experiment,
+    "live_bootstrap": live_bootstrap_experiment,
 }

@@ -21,7 +21,15 @@ from typing import Any
 from repro.core import messages as _messages
 from repro.core.node_id import Endpoint
 
-__all__ = ["register", "encode", "decode", "encode_bytes", "decode_bytes", "CodecError"]
+__all__ = [
+    "register",
+    "registered_classes",
+    "encode",
+    "decode",
+    "encode_bytes",
+    "decode_bytes",
+    "CodecError",
+]
 
 
 class CodecError(ValueError):
@@ -37,6 +45,16 @@ def register(cls: type, name: str | None = None) -> type:
         raise CodecError(f"{cls!r} is not a dataclass")
     _REGISTRY[name or cls.__name__] = cls
     return cls
+
+
+def registered_classes() -> dict[str, type]:
+    """Snapshot of the wire registry: registered name -> dataclass.
+
+    The conformance suite iterates this to round-trip an exemplar of
+    every class and to diff the codec registry against the simulator's
+    message sizer (:mod:`repro.sim.network`).
+    """
+    return dict(_REGISTRY)
 
 
 def _register_core_messages() -> None:

@@ -9,6 +9,10 @@ Registers two opt-in markers:
 * ``slow`` — multi-minute scenario tests (the n=256 stability-gap
   comparison across systems).  Skipped by default to keep tier-1 fast;
   opt in with ``pytest --slow``.
+* ``live`` — real-runtime conformance tests that bind localhost UDP
+  sockets and measure wall-clock behaviour (``tests/test_live.py``).
+  Skipped by default (tier-1 must stay socket-free and deterministic);
+  opt in with ``pytest --live``.  CI runs them in a dedicated job.
 """
 
 import pytest
@@ -27,6 +31,12 @@ def pytest_addoption(parser):
         default=False,
         help="run multi-minute scenario tests (skipped by default)",
     )
+    parser.addoption(
+        "--live",
+        action="store_true",
+        default=False,
+        help="run live-runtime UDP socket tests (skipped by default)",
+    )
 
 
 def pytest_configure(config):
@@ -38,6 +48,10 @@ def pytest_configure(config):
         "markers",
         "slow: multi-minute scenario test, skipped unless --slow is given",
     )
+    config.addinivalue_line(
+        "markers",
+        "live: real UDP socket test, skipped unless --live is given",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
@@ -48,6 +62,8 @@ def pytest_collection_modifyitems(config, items):
         )
     if not config.getoption("--slow"):
         skips.append(("slow", pytest.mark.skip(reason="slow; run with --slow")))
+    if not config.getoption("--live"):
+        skips.append(("live", pytest.mark.skip(reason="live sockets; run with --live")))
     if not skips:
         return
     for item in items:

@@ -27,7 +27,7 @@ DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
 
 #: Backticked or link-target tokens that look like repository paths.
 _PATH_RE = re.compile(
-    r"(?:src|tests|docs)/[A-Za-z0-9_./-]*[A-Za-z0-9_/]|[A-Za-z0-9_.-]+\.(?:md|py|json|yml|toml)"
+    r"(?:src|tests|docs|examples)/[A-Za-z0-9_./-]*[A-Za-z0-9_/]|[A-Za-z0-9_.-]+\.(?:md|py|json|yml|toml)"
 )
 
 #: Dotted repro-module references (``repro.bench.specs``,
