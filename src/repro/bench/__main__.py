@@ -17,6 +17,12 @@ name contains ``PATTERN`` and whose wall time exceeds the budget makes
 the invocation exit nonzero.  CI uses this to pin the n=1000 operating
 points to an absolute time box.
 
+``--check-invariants`` (the default) harvests each case's safety-invariant
+ledger summary (:meth:`repro.obs.invariants.ViewLedger.report`) into the
+report's per-case ``invariants`` block; ``--no-check-invariants`` drops the
+block, e.g. to compare against pre-ledger baseline reports.  The safety
+checks themselves always run inside the harness either way.
+
 ``--timeseries PATH`` additionally exports the plot-ready Figure 5-10
 series (view-size timeseries and per-node convergence ECDF) as
 long-format CSV; see :func:`repro.bench.runner.write_timeseries_csv` and
@@ -87,6 +93,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "case's alloc_peak_bytes; roughly doubles wall time",
     )
     parser.add_argument(
+        "--check-invariants",
+        dest="check_invariants",
+        action="store_true",
+        default=True,
+        help="harvest each case's safety-invariant ledger summary into the "
+        "report's invariants block (default: on; the checks themselves are "
+        "always enforced inside the harness and abort a violating case)",
+    )
+    parser.add_argument(
+        "--no-check-invariants",
+        dest="check_invariants",
+        action="store_false",
+        help="omit the per-case invariants block (e.g. to compare against "
+        "reports from before the ledger existed)",
+    )
+    parser.add_argument(
         "--timeseries",
         default=None,
         metavar="PATH",
@@ -128,6 +150,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = BenchRunner(
         include_per_node=args.per_node,
         track_alloc=args.mem,
+        check_invariants=args.check_invariants,
         log=None if args.quiet else print,
     )
     cases = runner.run(specs)

@@ -28,6 +28,10 @@ The report schema (``repro.bench/v2``)::
           "metrics": {<registry snapshot: counters, gauges,
                        histogram quantile summaries>},
           "result": {<scenario scalars: convergence_time, ...>},
+          "invariants": {"checked": 412, "nodes": 16, "configs": 4,
+                         "max_seq": 4, "ok": true},  # ViewLedger summary
+                                        # (absent for harnesses without a
+                                        # ledger or with --no-check-invariants)
           "peak_rss_kb": 48560,            # nondeterministic (machine-local)
           "alloc_peak_bytes": null         # set when run with --mem
         }, ...
@@ -117,6 +121,12 @@ class CaseResult:
     #: (only when the runner was built with ``track_alloc=True`` — tracing
     #: roughly doubles wall time, so it is off by default).
     alloc_peak_bytes: Optional[int] = None
+    #: :meth:`~repro.obs.invariants.ViewLedger.report` summary of the
+    #: harness's safety-invariant ledger: how many view installations were
+    #: checked (each one passed, or the case would have aborted with an
+    #: ``InvariantViolation``).  ``None`` when the harness has no ledger
+    #: (baseline agent systems) or invariant harvesting was disabled.
+    invariants: Optional[dict] = None
     #: Plot-ready series harvested from the scenario outcome (the
     #: Figure 5-10 inputs: the view-size timeseries and the per-node
     #: convergence times).  Kept off the JSON report — bulky and already
@@ -130,7 +140,7 @@ class CaseResult:
         return self.events_processed / denominator if denominator > 0 else 0.0
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "name": self.spec.name,
             "scenario": self.spec.scenario,
             "system": self.spec.system,
@@ -151,6 +161,9 @@ class CaseResult:
             "peak_rss_kb": self.peak_rss_kb,
             "alloc_peak_bytes": self.alloc_peak_bytes,
         }
+        if self.invariants is not None:
+            payload["invariants"] = self.invariants
+        return payload
 
 
 class BenchRunner:
@@ -166,6 +179,13 @@ class BenchRunner:
         case's peak (``alloc_peak_bytes``).  Off by default: tracing
         roughly doubles wall time, which would poison the
         ``events_per_wall_s`` regression signal.
+    check_invariants:
+        Harvest the harness's :class:`~repro.obs.invariants.ViewLedger`
+        summary into each case (``invariants`` block).  The safety checks
+        themselves are always on inside the harness — a violation aborts
+        the case regardless — so disabling this only drops the per-case
+        certification block from the report (e.g. to compare against
+        pre-ledger baselines).
     log:
         Progress sink (``None`` silences it).
     """
@@ -174,10 +194,12 @@ class BenchRunner:
         self,
         include_per_node: bool = False,
         track_alloc: bool = False,
+        check_invariants: bool = True,
         log: Optional[Callable[[str], None]] = print,
     ) -> None:
         self.include_per_node = include_per_node
         self.track_alloc = track_alloc
+        self.check_invariants = check_invariants
         self._log = log or (lambda message: None)
 
     # -------------------------------------------------------------- execution
@@ -202,6 +224,12 @@ class BenchRunner:
         harness = outcome["harness"]
         engine = harness.engine
         network = harness.network
+        ledger = getattr(harness, "ledger", None)
+        invariants = (
+            ledger.report() if self.check_invariants and ledger is not None else None
+        )
+        duplicate_counts = getattr(network, "duplicate_counts", {})
+        reorder_counts = getattr(network, "reorder_counts", {})
         snapshot = harness.metrics.snapshot()
         if not self.include_per_node:
             snapshot = {
@@ -223,11 +251,16 @@ class BenchRunner:
                 # traffic *is* — message and wire-byte totals per class —
                 # so wins like "3x fewer probe events" or "join responses
                 # shrank 10x" are attributable from the report alone.
+                # Classes touched by a message adversary additionally
+                # carry "duplicates"/"reordered" counts (absent otherwise,
+                # so reports without an adversary keep their exact shape).
                 "by_class": {
-                    key: {
-                        "messages": count,
-                        "bytes": network.class_bytes.get(key, 0),
-                    }
+                    key: _class_row(
+                        count,
+                        network.class_bytes.get(key, 0),
+                        duplicate_counts.get(key, 0),
+                        reorder_counts.get(key, 0),
+                    )
                     for key, count in sorted(network.class_counts.items())
                 },
             },
@@ -235,6 +268,7 @@ class BenchRunner:
             result=_scalars(outcome),
             peak_rss_kb=peak_rss_kb,
             alloc_peak_bytes=alloc_peak,
+            invariants=invariants,
             series=_series(outcome),
         )
 
@@ -256,6 +290,16 @@ class BenchRunner:
         except KeyError:
             raise ValueError(f"unknown scenario {spec.scenario!r}")
         return fn(spec.system, spec.n, seed=spec.seed, **dict(spec.params))
+
+
+def _class_row(count: int, byte_total: int, duplicates: int, reordered: int) -> dict:
+    """One ``messages.by_class`` entry; adversary counts only when nonzero."""
+    row = {"messages": count, "bytes": byte_total}
+    if duplicates:
+        row["duplicates"] = duplicates
+    if reordered:
+        row["reordered"] = reordered
+    return row
 
 
 # ------------------------------------------------------------------ reporting
@@ -338,6 +382,14 @@ def _headline(case: CaseResult) -> str:
             f"evictions={result.get('healthy_evicted_nodes')}"
             f" flaps={result.get('flap_events')}"
             f" removed={result.get('faulty_removed')}"
+        )
+    if case.spec.scenario == "partition_heal":
+        t = result.get("reconverge_time")
+        healed = f"reconverged@{t:.1f}s" if t is not None else "no reconvergence"
+        return (
+            f"rejoined={result.get('rejoined')}/{result.get('minority')}"
+            f" splits={result.get('minority_installs_during_partition')}"
+            f" {healed}"
         )
     if case.spec.scenario in ("service_discovery", "txn_platform"):
         p99 = result.get("latency_p99")

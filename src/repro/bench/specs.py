@@ -23,6 +23,7 @@ SCENARIOS = (
     "join_churn",
     "packet_loss",
     "adversary",
+    "partition_heal",
     "service_discovery",
     "txn_platform",
     "live_bootstrap",
@@ -131,6 +132,19 @@ def quick_suite() -> list:
             seed=1,
             params={"loss": 0.8, "direction": "egress", "observe_for": 60.0},
         ),
+        # Message-adversary gate: duplicated and reordered (but never
+        # dropped) traffic on every CI run.  The handlers must be
+        # idempotent under redelivery and tolerant of overtaking, the
+        # ViewLedger must stay clean, and the duplicate/reorder counters
+        # surface in messages.by_class so the adversary's pressure is
+        # visible in the report.
+        BenchSpec(
+            "adversary",
+            "rapid",
+            24,
+            seed=1,
+            params={"profile": "dup_reorder", "fault_at": 5.0, "observe_for": 30.0},
+        ),
         # App-tier gate: serve open-loop traffic through a fault on every
         # CI run, exercising the resilience tier (retries, hedging,
         # breakers, deadline propagation) and the app SLO scorecard.
@@ -211,6 +225,19 @@ def full_suite() -> list:
             1000,
             seed=1,
             params={"profile": "asymmetric_ingress", "observe_for": 90.0},
+        ),
+        # Partition-and-heal end point at the paper's n=1000 operating
+        # point: the minority slice must make zero view progress while
+        # split (no split-brain; the always-on ViewLedger enforces it),
+        # the majority reconfigures it out, and after the heal every
+        # minority member rejoins through the delta path.  CI boxes this
+        # case with --budget (see ci.yml).
+        BenchSpec(
+            "partition_heal",
+            "rapid",
+            1000,
+            seed=1,
+            params={"fraction": 0.1, "partition_for": 60.0},
         ),
         # Served-traffic end points (Figures 12-13): application workloads at
         # the paper's n=1000 operating point, under the flip-flop and

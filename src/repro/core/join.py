@@ -140,6 +140,14 @@ class JoinProtocol:
         if msg.status != JoinStatus.SAFE_TO_JOIN:
             self._restart(self.node.settings.join_timeout / 2)
             return
+        if self._config_id == msg.config_id:
+            # A duplicate SAFE_TO_JOIN for the attempt already in flight
+            # (network-level duplication): re-fanning JoinRequests to
+            # every observer would multiply join traffic, and re-arming
+            # the timeout would push the retry deadline out indefinitely
+            # under sustained duplication.  Legitimate retries come
+            # through begin()/_restart, which clear the in-flight id.
+            return
         self._config_id = msg.config_id
         base = self._delta_base()
         request = JoinRequest(

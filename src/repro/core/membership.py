@@ -173,6 +173,9 @@ class RapidNode:
         self._subject_index: dict[Endpoint, int] = {}
         self._detectors: list[Any] = []
         self._alerted: set[Endpoint] = set()
+        # Virtual time of the last view install (or re-announce); gates
+        # the stale-view re-announce scan below.
+        self._last_progress = 0.0
         #: Outstanding probe per subject: the wheel-tick seq of the probe
         #: in flight, or 0 when none (at most one probe per edge).
         self._outstanding: list[int] = []
@@ -336,6 +339,27 @@ class RapidNode:
     def _on_batched_alerts(self, src: Endpoint, msg: BatchedAlerts) -> None:
         for alert in msg.alerts:
             self._on_alert(alert)
+        # Laggard repair: alerts scoped to a configuration we already
+        # moved past mean the announcer is stranded in an old view (the
+        # healed-partition case) — hand it the decision that superseded
+        # that configuration, if we still hold it.
+        if (
+            msg.alerts
+            and self.status == NodeStatus.ACTIVE
+            and self.config is not None
+            and src != self.addr
+            and msg.alerts[0].config_id != self.config.config_id
+        ):
+            self._repair_laggard(src, msg.alerts[0].config_id)
+
+    def _repair_laggard(self, src: Endpoint, config_id: int) -> None:
+        """Send ``src`` the cached Decision that closed ``config_id``, if any."""
+        decided = self._recent_decisions.get(config_id)
+        if decided is not None:
+            self.runtime.send(
+                src,
+                Decision(sender=self.addr, config_id=config_id, value=decided),
+            )
 
     def _on_pre_join_response(self, src: Endpoint, msg: PreJoinResponse) -> None:
         if self._join_protocol is not None:
@@ -488,6 +512,7 @@ class RapidNode:
                     for subject in pending:
                         self._announce_removal(subject)
             self._reinforcement_scan(now)
+            self._reannounce_scan(now)
         if self._report_every and tick % self._report_every == 0:
             self._record_report()
         self._wheel_timer = self.runtime.schedule(
@@ -598,6 +623,51 @@ class RapidNode:
                 )
             )
 
+    def _reannounce_scan(self, now: float) -> None:
+        """Liveness aid for healed partitions: re-broadcast stuck alerts.
+
+        A minority partition announces its unreachable subjects once but
+        can never decide their removal (no quorum), so after the announce
+        the minority goes silent — and once the partition heals, nothing
+        would ever cross the old partition line again: both sides probe
+        only their own members.  Re-broadcasting the alerted-but-still-
+        in-view subjects after ``reannounce_interval`` seconds without a
+        view change breaks that silence.  Receivers that moved past our
+        configuration answer with the cached removal Decision (see
+        :meth:`_on_batched_alerts`), which tells this stranded process it
+        was kicked so it can rejoin.  Duplicate alerts are idempotent at
+        every receiver (the cut detector tallies each (subject, ring)
+        edge once), so re-announcing is safe in any regime.
+        """
+        if self.status != NodeStatus.ACTIVE or not self._alerted:
+            return
+        if now - self._last_progress < self.settings.reannounce_interval:
+            return
+        self._last_progress = now
+        for subject in sorted(self._alerted):
+            if subject not in self.config:
+                continue
+            rings = tuple(self.topology.observer_rings(self.addr, subject))
+            if not rings:
+                continue
+            kind = AlertKind.REMOVE
+            if self.cut_detector is not None:
+                kind = self.cut_detector.kind_of(subject) or AlertKind.REMOVE
+            uuid = 0
+            if kind == AlertKind.JOIN:
+                pending = self._pending_joiners.get(subject)
+                uuid = pending[0] if pending is not None else 0
+            self._enqueue_alert(
+                Alert(
+                    observer=self.addr,
+                    subject=subject,
+                    kind=kind,
+                    config_id=self.config.config_id,
+                    ring_numbers=rings,
+                    joiner_uuid=uuid,
+                )
+            )
+
     def _record_report(self) -> None:
         """Sample this node's view size into the experiment trace."""
         if self.status == NodeStatus.ACTIVE and self.config is not None:
@@ -680,12 +750,8 @@ class RapidNode:
             return
         # Repair: a laggard is still deciding a configuration we already
         # moved past — hand it the decision directly.
-        decided = self._recent_decisions.get(msg.config_id)
-        if decided is not None and not isinstance(msg, Decision):
-            self.runtime.send(
-                src,
-                Decision(sender=self.addr, config_id=msg.config_id, value=decided),
-            )
+        if not isinstance(msg, Decision):
+            self._repair_laggard(src, msg.config_id)
 
     def _on_decide(self, proposal: Proposal) -> None:
         if self.config is None:
@@ -809,6 +875,7 @@ class RapidNode:
         self._alerted.clear()
         self._alert_batch.clear()
         self._announce_armed = False
+        self._last_progress = self.runtime.now()
         # Answer joiners admitted by this view change; joiners whose alerts
         # did not make this cut are told to restart promptly against the new
         # configuration (otherwise they would idle out their join timeout,
@@ -876,6 +943,8 @@ class RapidNode:
                 config.size,
                 joins=len(joined),
                 removes=len(removed),
+                seq=config.seq,
+                members=config.members,
             )
         if self.on_view_change is not None:
             self.on_view_change(event)
@@ -1100,6 +1169,13 @@ class RapidNode:
                     config_id=self.config.config_id,
                 ),
             )
+            return
+        # Duplicate JoinRequests (network-level duplication, or a joiner
+        # retry racing its own admission) must not re-broadcast the JOIN
+        # alert: the cut detector is idempotent per (subject, ring) so
+        # tallies would not move, but every duplicate would trigger a
+        # full gossip storm.  Refresh the pending entry and stop.
+        if self._pending_joiners.get(msg.sender) == (msg.uuid, msg.base_config_id):
             return
         self._pending_joiners[msg.sender] = (msg.uuid, msg.base_config_id)
         self._enqueue_alert(

@@ -89,6 +89,14 @@ class RapidSettings:
     reinforcement_timeout:
         Seconds a subject may linger in the unstable region before its
         observers echo REMOVE alerts (section 4.2, "reinforcements").
+    reannounce_interval:
+        Seconds without a view change before a node re-broadcasts its
+        alerted-but-unremoved subjects.  A minority partition announces
+        its unreachable subjects once but can never reach consensus on
+        removing them; after the partition heals, the re-broadcast is what
+        reaches the majority — whose members have moved past the stranded
+        configuration and answer with the cached removal Decision, letting
+        the stranded members learn they were kicked and rejoin.
     gossip_interval / gossip_fanout:
         Parameters of the epidemic broadcast used for alert dissemination
         and consensus vote counting when gossip is active (``GOSSIP``
@@ -174,6 +182,7 @@ class RapidSettings:
     consensus_rank_delay: float = 1.0
 
     reinforcement_timeout: float = 10.0
+    reannounce_interval: float = 30.0
 
     broadcast_mode: str = BroadcastMode.AUTO
     gossip_interval: float = 0.2

@@ -49,6 +49,9 @@ class _AgentHarness:
             self.engine, seed=seed, latency=latency, metrics=self.metrics
         )
         self.trace = ViewTrace()
+        #: Baselines report opaque views (no config ids/membership hashes),
+        #: so the safety-invariant ledger does not apply to them.
+        self.ledger = None
         self.agents: dict[Endpoint, object] = {}
         self.runtimes: dict[Endpoint, SimRuntime] = {}
         self.endpoints: list[Endpoint] = []
@@ -208,6 +211,10 @@ class RapidHarness:
         self.network = self.cluster.network
         self.metrics = self.cluster.metrics
         self.trace = self.cluster.view_trace
+        #: Safety-invariant monitor fed by every node's view installs
+        #: (see :mod:`repro.obs.invariants`); checks run as the cluster
+        #: reconfigures, so scenarios need no extra wiring.
+        self.ledger = self.cluster.ledger
         self.endpoints: list[Endpoint] = []
 
     def bootstrap(self, n: int, seed_delay: float = 10.0, stagger: float = 0.0) -> list:

@@ -46,6 +46,7 @@ from repro.core.events import NodeStatus
 from repro.core.membership import RapidNode
 from repro.core.node_id import Endpoint, stable_hash64
 from repro.core.settings import RapidSettings
+from repro.obs.invariants import ViewLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.asyncio_transport import open_local_socket
 from repro.runtime.live_net import LiveRuntime, LiveWire
@@ -141,7 +142,11 @@ class LiveHarness:
         self.loop = asyncio.new_event_loop()
         self.metrics = MetricsRegistry()
         self.trace = ViewTrace()
-        self.event_log = ViewChangeEventLog()
+        # The same safety-invariant monitor the sim harness runs: live
+        # nodes feed the event log from their real install path, so the
+        # consistency properties are checked against real UDP traffic too.
+        self.ledger = ViewLedger(seed=seed)
+        self.event_log = ViewChangeEventLog(ledger=self.ledger)
         self._epoch = self.loop.time()
         self._final_now: Optional[float] = None
         self.wire = LiveWire(seed=seed, clock=self._now)
@@ -366,5 +371,6 @@ def live_bootstrap_experiment(
         "sim_estimate_ratio": (real / estimated) if estimated else None,
         "decode_errors": harness.wire.decode_errors,
         "wire_parity": harness.wire.parity_by_class(),
+        "invariant_checks": harness.ledger.records,
         "harness": harness,
     }

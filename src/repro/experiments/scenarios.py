@@ -26,6 +26,7 @@ from repro.apps.service_discovery import (
 )
 from repro.apps.txn_platform import DataServer, TxnClient, TxnPlatformConfig
 from repro.core.cut_detector import MultiNodeCutDetector
+from repro.core.events import NodeStatus
 from repro.core.messages import Alert, AlertKind
 from repro.core.node_id import Endpoint
 from repro.core.ring import KRingTopology
@@ -46,6 +47,7 @@ __all__ = [
     "join_churn_experiment",
     "packet_loss_experiment",
     "adversary_experiment",
+    "partition_heal_experiment",
     "sensitivity_experiment",
     "txn_platform_experiment",
     "service_discovery_experiment",
@@ -399,6 +401,110 @@ def adversary_experiment(
     return report
 
 
+# ------------------------------------------------------- partition and heal:
+# no split-brain while split, delta rejoin after
+
+
+def partition_heal_experiment(
+    system: str,
+    n: int,
+    fraction: float = 0.2,
+    partition_for: float = 60.0,
+    seed: int = 0,
+    fault_at: float = 10.0,
+    heal_observe: float = 240.0,
+    settle_timeout: float = 600.0,
+    rejoin_poll: float = 5.0,
+    **harness_kwargs,
+) -> dict:
+    """Split off a minority slice, hold the partition, heal, and rejoin.
+
+    Compiles the ``partition_heal`` fault profile (a bounded-window
+    :class:`~repro.sim.faults.Partition` between a ``fraction`` minority and
+    the rest) against a settled cluster and asserts the safety story end to
+    end: during the partition the minority — below the classical majority,
+    let alone Rapid's fast-path quorum — must make **zero** view progress
+    (no split-brain, checked both by counting its view installs and by the
+    always-on :class:`~repro.obs.invariants.ViewLedger`), while the majority
+    reconfigures it out.  After the window closes, the majority's decision
+    gossip tells the stale minority members they were removed; as each one
+    reaches ``KICKED`` the experiment calls
+    :meth:`~repro.core.membership.RapidNode.rejoin`, exercising the
+    delta-encoded rejoin path back to a full ``n``-member view.
+
+    Requires a Rapid harness (node-level status/rejoin and the view event
+    log).  Returns flat scalars — minority install count during the
+    partition, whether the majority converged while split, rejoin and
+    re-convergence progress, and the ledger's check count — plus the usual
+    ``timeseries``/``harness`` payloads.
+    """
+    harness = harness_for(system, seed=seed, **harness_kwargs)
+    cluster = getattr(harness, "cluster", None)
+    if cluster is None:
+        raise ValueError(
+            f"partition_heal requires a Rapid harness, not {system!r} "
+            "(needs node-level status/rejoin and the view event log)"
+        )
+    endpoints = harness.bootstrap(n, seed_delay=5.0, stagger=1.0)
+    settled = harness.run_until_converged(n, timeout=settle_timeout)
+    harness.run_for(5.0)
+    fault_start = harness.engine.now + fault_at
+    compiled = compile_profile(
+        "partition_heal",
+        endpoints,
+        seed,
+        fault_start,
+        overrides={"fraction": fraction, "duration": partition_for},
+    )
+    for rule in compiled.rules:
+        harness.network.add_rule(rule)
+    minority = compiled.faulty
+    majority = [ep for ep in endpoints if ep not in minority]
+    heal_time = fault_start + partition_for
+    harness.run_for(fault_at + partition_for)
+    minority_installs = sum(
+        1
+        for record in cluster.event_log.records
+        if record.endpoint in minority and record.time >= fault_start
+    )
+    majority_sizes = {len(cluster.nodes[ep].membership) for ep in majority}
+    majority_converged = majority_sizes == {n - len(minority)}
+    rejoined: set = set()
+    reconverged_at = None
+    deadline = harness.engine.now + heal_observe
+    while harness.engine.now < deadline:
+        harness.run_for(rejoin_poll)
+        for ep in minority:
+            node = cluster.nodes[ep]
+            if ep not in rejoined and node.status in (
+                NodeStatus.KICKED,
+                NodeStatus.LEFT,
+            ):
+                rejoined.add(ep)
+                node.rejoin()
+        if len(rejoined) == len(minority) and harness.converged(n):
+            reconverged_at = harness.engine.now
+            break
+    harness.run_for(2.0)
+    return {
+        "system": system,
+        "n": n,
+        "minority": len(minority),
+        "fault_start": fault_start,
+        "heal_time": heal_time,
+        "settled": settled is not None,
+        "minority_installs_during_partition": minority_installs,
+        "majority_converged_during_partition": majority_converged,
+        "rejoined": len(rejoined),
+        "reconverge_time": (
+            reconverged_at - heal_time if reconverged_at is not None else None
+        ),
+        "invariant_checks": cluster.ledger.records,
+        "timeseries": harness.trace.aggregate_series(list(endpoints), step=5.0),
+        "harness": harness,
+    }
+
+
 # ---------------------------------------------------------------- Figure 11:
 # K, H, L sensitivity of almost-everywhere agreement
 
@@ -748,6 +854,7 @@ SCENARIO_FUNCTIONS = {
     "join_churn": join_churn_experiment,
     "packet_loss": packet_loss_experiment,
     "adversary": adversary_experiment,
+    "partition_heal": partition_heal_experiment,
     "service_discovery": service_discovery_experiment,
     "txn_platform": txn_platform_experiment,
     "live_bootstrap": live_bootstrap_experiment,

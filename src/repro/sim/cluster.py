@@ -15,6 +15,7 @@ from repro.core.events import NodeStatus
 from repro.core.membership import RapidNode
 from repro.core.node_id import Endpoint
 from repro.core.settings import RapidSettings
+from repro.obs.invariants import ViewLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
 from repro.sim.latency import LatencyModel
@@ -69,7 +70,13 @@ class SimCluster:
         )
         self.mode = mode
         self.view_trace = ViewTrace()
-        self.event_log = ViewChangeEventLog()
+        # Safety-invariant monitor: every view installation any node
+        # records is checked on the spot.  Centralized mode relaxes only
+        # the contiguity leg (ViewUpdate pushes legitimately skip views).
+        self.ledger = ViewLedger(
+            seed=seed, allow_member_gaps=(mode == "centralized")
+        )
+        self.event_log = ViewChangeEventLog(ledger=self.ledger)
         self.nodes: dict[Endpoint, RapidNode] = {}
         self.runtimes: dict[Endpoint, SimRuntime] = {}
         self.ensemble: list[EnsembleNode] = []

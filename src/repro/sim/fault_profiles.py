@@ -25,6 +25,10 @@ profile                paper condition
 ``rack_crash``         correlated whole-rack fail-stop
 ``rack_partition``     rack split from the rest of the cluster
 ``network_flap``       cluster-wide loss burst, then quiet
+``partition_minority`` minority slice split off, never healed
+``partition_heal``     minority split for a bounded window, then healed
+``partition_flap``     minority split flapping on/off
+``dup_reorder``        cluster-wide duplicate + reorder adversary
 =====================  ==========================================
 
 Faulty-node selection draws from a child RNG scoped by profile name, so the
@@ -42,12 +46,14 @@ from repro.sim.faults import (
     AmbientLoss,
     Blackhole,
     CrashSchedule,
+    Duplicate,
     EgressLoss,
     FaultRule,
     FlipFlopCrash,
     IngressLoss,
     Partition,
     ProcessDelay,
+    Reorder,
     ScheduledAction,
     rack_assignment,
     rack_members,
@@ -204,6 +210,65 @@ def _build_rack_partition(nodes, fault_start, params, rng):
     return (rule,), (), faulty
 
 
+def _partition_groups(nodes, fraction, rng):
+    """Sample a minority slice and return (minority, majority) frozensets."""
+    minority = _pick_faulty(nodes, fraction, rng)
+    return minority, frozenset(nodes) - minority
+
+
+def _build_partition_minority(nodes, fault_start, params, rng):
+    minority, majority = _partition_groups(nodes, params["fraction"], rng)
+    rule = Partition(
+        group_a=minority,
+        group_b=majority,
+        probability=params["loss"],
+        start=fault_start,
+    )
+    return (rule,), (), minority
+
+
+def _build_partition_heal(nodes, fault_start, params, rng):
+    minority, majority = _partition_groups(nodes, params["fraction"], rng)
+    rule = Partition(
+        group_a=minority,
+        group_b=majority,
+        probability=params["loss"],
+        start=fault_start,
+        end=fault_start + params["duration"],
+    )
+    return (rule,), (), minority
+
+
+def _build_partition_flap(nodes, fault_start, params, rng):
+    minority, majority = _partition_groups(nodes, params["fraction"], rng)
+    rule = Partition(
+        group_a=minority,
+        group_b=majority,
+        probability=params["loss"],
+        start=fault_start,
+        period_on=params["period_on"],
+        period_off=params["period_off"],
+    )
+    return (rule,), (), minority
+
+
+def _build_dup_reorder(nodes, fault_start, params, rng):
+    rules = (
+        Duplicate(
+            probability=params["probability"],
+            copies=params["copies"],
+            start=fault_start,
+        ),
+        Reorder(
+            probability=params["probability"],
+            delay=params["delay"],
+            jitter=params["jitter"],
+            start=fault_start,
+        ),
+    )
+    return rules, (), frozenset()
+
+
 def _build_network_flap(nodes, fault_start, params, rng):
     rule = AmbientLoss(
         probability=params["loss"],
@@ -308,6 +373,52 @@ PROFILES: dict[str, FaultProfile] = {
             expect_eviction=True,
             defaults={"racks": 8, "rack": 1, "loss": 1.0, "one_way": False},
             build=_build_rack_partition,
+        ),
+        FaultProfile(
+            name="partition_minority",
+            description="A minority slice split from the majority, never "
+            "healed; the majority must evict it without split-brain.",
+            figure="section 7.2 (partitions)",
+            expect_eviction=True,
+            defaults={"fraction": 0.2, "loss": 1.0},
+            build=_build_partition_minority,
+        ),
+        FaultProfile(
+            name="partition_heal",
+            description="A minority slice split off for a bounded window, "
+            "then healed; kicked members rejoin via the delta path.",
+            figure="section 7.2 (partitions)",
+            expect_eviction=True,
+            defaults={"fraction": 0.2, "loss": 1.0, "duration": 60.0},
+            build=_build_partition_heal,
+        ),
+        FaultProfile(
+            name="partition_flap",
+            description="A minority slice whose partition flaps on/off; "
+            "the majority must converge despite the flapping.",
+            figure="section 7.2 (partitions)",
+            expect_eviction=True,
+            defaults={
+                "fraction": 0.2,
+                "loss": 1.0,
+                "period_on": 15.0,
+                "period_off": 15.0,
+            },
+            build=_build_partition_flap,
+        ),
+        FaultProfile(
+            name="dup_reorder",
+            description="Cluster-wide duplicate + reorder message adversary; "
+            "a correct service rides it out with zero evictions.",
+            figure="safety adversary",
+            expect_eviction=False,
+            defaults={
+                "probability": 0.2,
+                "copies": 1,
+                "delay": 0.2,
+                "jitter": 0.3,
+            },
+            build=_build_dup_reorder,
         ),
         FaultProfile(
             name="network_flap",

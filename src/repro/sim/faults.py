@@ -51,6 +51,9 @@ __all__ = [
     "EgressDelay",
     "ProcessDelay",
     "LinkDelay",
+    "AdversaryRule",
+    "Duplicate",
+    "Reorder",
     "ScheduledAction",
     "FlipFlopCrash",
     "CrashSchedule",
@@ -84,6 +87,14 @@ class FaultRule:
     #: (:class:`DelayFault`) rather than dropping packets.  The network
     #: keys its rule bookkeeping off this flag.
     adds_delay = False
+
+    #: Class-level marker: True for message-level adversary rules
+    #: (:class:`AdversaryRule`) that duplicate or reorder deliveries
+    #: instead of dropping or delaying deterministically.  Like delay
+    #: rules, the network keeps them on a separate list with a dedicated
+    #: RNG stream, so installing one never perturbs loss or latency
+    #: sampling of unrelated traffic.
+    mutates_delivery = False
 
     def __post_init__(self) -> None:
         """Reject windows and flip-flop periods that cannot mean anything.
@@ -362,6 +373,113 @@ class LinkDelay(DelayFault):
         if src == self.a and dst == self.b:
             return True
         return self.bidirectional and src == self.b and dst == self.a
+
+
+# ------------------------------------------------------------ adversary rules
+
+
+@dataclass
+class AdversaryRule(FaultRule):
+    """Base for message-level adversary rules: UDP misbehaviour, not loss.
+
+    The simulated network otherwise delivers every surviving message
+    exactly once, with one sampled latency — better behaved than the UDP
+    paths the real runtime uses.  Adversary rules close that gap:
+    :class:`Duplicate` redelivers matching messages and :class:`Reorder`
+    holds them back, both probabilistically from the network's dedicated
+    adversary RNG stream.  ``nodes`` scopes a rule to traffic touching
+    the given endpoints (either direction); empty means all traffic.
+    """
+
+    nodes: frozenset[Endpoint] = field(default_factory=frozenset)
+    probability: float = 0.0
+
+    mutates_delivery = True
+
+    def matches(self, src: Endpoint, dst: Endpoint) -> bool:
+        """All traffic, or traffic touching one of the scoped nodes."""
+        if not self.nodes:
+            return True
+        return src in self.nodes or dst in self.nodes
+
+    def drop_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        """Adversary rules never drop."""
+        return 0.0
+
+    def extra_copies(self, src: Endpoint, dst: Endpoint, rng: random.Random) -> int:
+        """How many duplicate deliveries to fabricate for this message."""
+        return 0
+
+    def hold_delay(self, src: Endpoint, dst: Endpoint, rng: random.Random) -> float:
+        """Extra hold-back delay before releasing this message."""
+        return 0.0
+
+
+@dataclass
+class Duplicate(AdversaryRule):
+    """Redeliver matching messages with probability ``probability``.
+
+    Each of the ``copies`` potential duplicates is an independent coin
+    flip; every fabricated copy is delivered with a *fresh* latency
+    sample (drawn from the adversary stream), so duplicates arrive at a
+    different time than the original — often later, sometimes earlier.
+    Duplicates are accounted per message class
+    (``Network.duplicate_counts``) and in ``net.messages_duplicated``;
+    they count as delivered, never as sent.
+    """
+
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        """Validate the window plus a positive copy bound."""
+        super().__post_init__()
+        if self.copies < 1:
+            raise ValueError(f"copies must be >= 1, got {self.copies}")
+
+    def extra_copies(self, src: Endpoint, dst: Endpoint, rng: random.Random) -> int:
+        """Independent coin flip per potential copy."""
+        p = self.probability
+        if p <= 0.0:
+            return 0
+        count = 0
+        for _ in range(self.copies):
+            if rng.random() < p:
+                count += 1
+        return count
+
+
+@dataclass
+class Reorder(AdversaryRule):
+    """Hold-and-release: delay matching messages with probability ``p``.
+
+    A held message gains ``delay`` plus up to ``jitter`` extra seconds,
+    sampled per message from the adversary stream.  Because only *some*
+    messages on a pair are held while later sends arrive on their normal
+    latency, arrival order on that pair inverts — the reordering UDP
+    exhibits under bursty queueing, amplified far past what plain latency
+    jitter produces.  Reordered deliveries are accounted per message
+    class (``Network.reorder_counts``) and in ``net.messages_reordered``.
+    """
+
+    delay: float = 0.5
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        """Validate the window plus non-negative hold parameters."""
+        super().__post_init__()
+        if self.delay < 0.0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def hold_delay(self, src: Endpoint, dst: Endpoint, rng: random.Random) -> float:
+        """The sampled hold-back for this message (0.0 = not held)."""
+        p = self.probability
+        if p <= 0.0 or rng.random() >= p:
+            return 0.0
+        if self.jitter:
+            return self.delay + rng.random() * self.jitter
+        return self.delay
 
 
 # ---------------------------------------------------------- crash schedules

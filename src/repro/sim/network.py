@@ -258,9 +258,15 @@ class Network:
         # jitter draws never perturb loss sampling, so installing one
         # cannot shift the deterministic trace of unrelated traffic.
         self._delay_rules: list[FaultRule] = []
+        # Adversary rules (FaultRule.mutates_delivery) duplicate and
+        # reorder deliveries; they too get their own list and RNG stream
+        # so installing one leaves the loss/latency/delay draws of every
+        # other message byte-identical.
+        self._adversary_rules: list[FaultRule] = []
         self._latency_rng = child_rng(seed, "network", "latency")
         self._loss_rng = child_rng(seed, "network", "loss")
         self._delay_rng = child_rng(seed, "network", "delay")
+        self._adversary_rng = child_rng(seed, "network", "adversary")
         self.stats: dict[Endpoint, BandwidthStats] = defaultdict(BandwidthStats)
         # Per-second buckets: {endpoint: {second: [tx_bytes, rx_bytes]}}.
         # Plain nested dicts with int keys — this is touched on every
@@ -274,6 +280,12 @@ class Network:
         #: byte-weighted companion of :attr:`class_counts` — how wins
         #: like "join responses shrank 10x" are attributable per class.
         self.class_bytes: dict[str, int] = {}
+        #: Fabricated duplicate deliveries per message class (adversary
+        #: rules); the per-class companion of ``net.messages_duplicated``.
+        self.duplicate_counts: dict[str, int] = {}
+        #: Held-and-released (reordered) deliveries per message class;
+        #: the per-class companion of ``net.messages_reordered``.
+        self.reorder_counts: dict[str, int] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         net = self.metrics.scope("net")
         self._sent_counter = net.counter("messages_sent")
@@ -281,6 +293,8 @@ class Network:
         self._dropped_counter = net.counter("messages_dropped")
         self._tx_bytes_counter = net.counter("bytes_sent")
         self._rx_bytes_counter = net.counter("bytes_received")
+        self._duplicated_counter = net.counter("messages_duplicated")
+        self._reordered_counter = net.counter("messages_reordered")
 
     @property
     def sent_messages(self) -> int:
@@ -333,10 +347,14 @@ class Network:
         """Install a fault rule; returns it so callers can remove it later.
 
         Delay rules (``rule.adds_delay``) are kept on a separate list
-        consulted only when computing delivery latency; drop rules join
+        consulted only when computing delivery latency; adversary rules
+        (``rule.mutates_delivery``) on a third, consulted after the drop
+        loop to duplicate/reorder surviving deliveries; drop rules join
         the per-message drop loop.
         """
-        if rule.adds_delay:
+        if rule.mutates_delivery:
+            self._adversary_rules.append(rule)
+        elif rule.adds_delay:
             self._delay_rules.append(rule)
         else:
             self._rules.append(rule)
@@ -344,7 +362,9 @@ class Network:
 
     def remove_rule(self, rule: FaultRule) -> None:
         """Uninstall a previously added fault rule."""
-        if rule.adds_delay:
+        if rule.mutates_delivery:
+            self._adversary_rules.remove(rule)
+        elif rule.adds_delay:
             self._delay_rules.remove(rule)
         else:
             self._rules.remove(rule)
@@ -353,6 +373,7 @@ class Network:
         """Remove every installed fault rule."""
         self._rules.clear()
         self._delay_rules.clear()
+        self._adversary_rules.clear()
 
     # ----------------------------------------------------------------- faults
 
@@ -394,6 +415,8 @@ class Network:
             now = self.engine.now
             for rule in self._delay_rules:
                 delay += rule.added_delay(src, dst, now, self._delay_rng)
+        if self._adversary_rules:
+            delay += self._apply_adversary(src, dst, msg, size, key)
         self.engine.post(delay, self._deliver, src, dst, msg, size)
 
     def broadcast(self, src: Endpoint, dsts: Sequence[Endpoint], msg: Any) -> None:
@@ -456,12 +479,14 @@ class Network:
             return
         delay = self.latency.sample(self._latency_rng, size)
         delay_rules = self._delay_rules
-        if not delay_rules:
+        adversary = self._adversary_rules
+        if not delay_rules and not adversary:
             self.engine.post(delay, self._deliver_many, src, targets, msg, size)
             return
-        # Delay rules can slow different recipients differently, so the
-        # storm splits into one delivery event per distinct extra delay
-        # (recipients without extra delay stay batched together).
+        # Delay and adversary rules can slow different recipients
+        # differently, so the storm splits into one delivery event per
+        # distinct extra delay (recipients without extra delay stay
+        # batched together).
         now = self.engine.now
         delay_rng = self._delay_rng
         groups: dict[float, list] = {}
@@ -469,6 +494,8 @@ class Network:
             extra = 0.0
             for rule in delay_rules:
                 extra += rule.added_delay(src, dst, now, delay_rng)
+            if adversary:
+                extra += self._apply_adversary(src, dst, msg, size, key)
             group = groups.get(extra)
             if group is None:
                 groups[extra] = [dst]
@@ -478,6 +505,48 @@ class Network:
             self.engine.post(
                 delay + extra, self._deliver_many, src, group, msg, size
             )
+
+    def _apply_adversary(
+        self, src: Endpoint, dst: Endpoint, msg: Any, size: int, key: str
+    ) -> float:
+        """Run adversary rules over one (src, dst) delivery.
+
+        Returns the extra hold delay reorder rules impose on the original
+        copy, and posts fabricated duplicate deliveries directly (each with
+        a fresh latency sample so copies interleave with real traffic).
+        All draws come from the dedicated adversary RNG stream, so the
+        loss/latency/delay draws of every message are byte-identical with
+        and without an adversary installed.  Duplicates count as delivered
+        (receive accounting happens in ``_deliver``), never as sent — the
+        fabric fabricated them, no process paid transmit cost.
+        """
+        extra = 0.0
+        rng = self._adversary_rng
+        now = self.engine.now
+        for rule in self._adversary_rules:
+            if not rule.active(now) or not rule.matches(src, dst):
+                continue
+            held = rule.hold_delay(src, dst, rng)
+            if held > 0.0:
+                extra += held
+                self._reordered_counter.inc()
+                self.reorder_counts[key] = self.reorder_counts.get(key, 0) + 1
+            copies = rule.extra_copies(src, dst, rng)
+            if copies:
+                self._duplicated_counter.inc(copies)
+                self.duplicate_counts[key] = (
+                    self.duplicate_counts.get(key, 0) + copies
+                )
+                for _ in range(copies):
+                    self.engine.post(
+                        self.latency.sample(rng, size),
+                        self._deliver,
+                        src,
+                        dst,
+                        msg,
+                        size,
+                    )
+        return extra
 
     def _deliver(self, src: Endpoint, dst: Endpoint, msg: Any, size: int) -> None:
         handler = self._handlers.get(dst)

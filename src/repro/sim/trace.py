@@ -20,7 +20,13 @@ __all__ = ["ViewTrace", "ViewChangeEventLog", "ViewChangeRecord"]
 
 @dataclass
 class ViewChangeRecord:
-    """One installed view change at one process."""
+    """One installed view change at one process.
+
+    ``seq`` and ``members`` (the configuration sequence number and the
+    full membership tuple) are recorded when the protocol provides them;
+    they feed the safety-invariant monitor
+    (:class:`repro.obs.invariants.ViewLedger`).
+    """
 
     time: float
     endpoint: Endpoint
@@ -28,6 +34,8 @@ class ViewChangeRecord:
     size: int
     joins: int
     removes: int
+    seq: int = 0
+    members: tuple = ()
 
 
 class ViewTrace:
@@ -127,9 +135,16 @@ class ViewTrace:
 
 @dataclass
 class ViewChangeEventLog:
-    """Every view-change installation across the cluster, in time order."""
+    """Every view-change installation across the cluster, in time order.
+
+    When a :class:`~repro.obs.invariants.ViewLedger` is attached (the
+    ``ledger`` field), every record carrying configuration contents is
+    fed to it synchronously, so safety violations surface at the exact
+    event that caused them.
+    """
 
     records: list[ViewChangeRecord] = field(default_factory=list)
+    ledger: object = None
 
     def record(
         self,
@@ -139,11 +154,17 @@ class ViewChangeEventLog:
         size: int,
         joins: int = 0,
         removes: int = 0,
+        seq: int = 0,
+        members: tuple = (),
     ) -> None:
         """Append one view-change installation to the log."""
         self.records.append(
-            ViewChangeRecord(time, endpoint, config_id, size, joins, removes)
+            ViewChangeRecord(
+                time, endpoint, config_id, size, joins, removes, seq, members
+            )
         )
+        if self.ledger is not None and members:
+            self.ledger.observe(time, endpoint, config_id, seq, members, size)
 
     def distinct_configurations(self) -> list[int]:
         """Config ids in order of first installation anywhere."""

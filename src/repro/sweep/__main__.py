@@ -11,6 +11,13 @@ simulation-derived, the hash is a determinism fingerprint:
 * ``--budget SECONDS`` fails the run when total wall time exceeds the
   box (keeps CI smoke grids honest about their size).
 
+A point whose scenario raises — including a safety
+:class:`~repro.obs.invariants.InvariantViolation` — lands in the CSV as an
+in-band ``error`` row and makes the invocation exit non-zero.  By default
+the sweep stops at the first failure (the partial CSV, error row included,
+is still written); ``--keep-going`` runs the remaining points and marks
+every failure instead.
+
 ``python -m repro.sweep summarize sweep.csv`` aggregates a written CSV
 over seeds per (scenario, profile, system, n, metric) cell using
 :func:`repro.analysis.stats.summarize_sweep`.
@@ -25,7 +32,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.stats import load_sweep_csv, summarize_sweep
 from repro.sweep.grid import parse_grid
-from repro.sweep.runner import run_sweep, sweep_hash, write_sweep_csv
+from repro.sweep.runner import failed_points, run_sweep, sweep_hash, write_sweep_csv
 
 __all__ = ["main"]
 
@@ -107,6 +114,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fail when total wall time exceeds this many seconds",
     )
     parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="run the remaining points after a point fails (every failure "
+        "still lands as an error row and the exit status stays non-zero)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list the expanded points and exit"
     )
     parser.add_argument(
@@ -126,7 +139,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(point.name)
         return 0
     started = time.perf_counter()
-    rows = run_sweep(points, log=None if args.quiet else print)
+    rows = run_sweep(
+        points, log=None if args.quiet else print, keep_going=args.keep_going
+    )
     wall = time.perf_counter() - started
     out = write_sweep_csv(rows, args.out)
     digest = sweep_hash(rows)
@@ -139,6 +154,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.hash_out, "w", encoding="utf-8") as fh:
             fh.write(digest + "\n")
     status = 0
+    failures = failed_points(rows)
+    if failures:
+        print(
+            f"FAIL: {failures} point(s) errored (see the error rows in {out})",
+            file=sys.stderr,
+        )
+        status = 1
     if args.expect_hash and digest != args.expect_hash.strip():
         print(
             f"FAIL: hash mismatch (expected {args.expect_hash.strip()})",

@@ -11,6 +11,15 @@ Determinism contract: every value that lands in a row derives only from
 the simulation (virtual time, seeded RNG), never from wall clock — so the
 sha256 in :func:`sweep_hash` is reproducible run-to-run and machine-to-
 machine, and CI can assert byte-identical CSVs for identical grids.
+
+Failure accounting: a point whose scenario raises (including an
+:class:`~repro.obs.invariants.InvariantViolation` from the safety monitor)
+yields a single in-band ``error`` row (``metric=error, value=1``) instead
+of silently vanishing from the CSV; :func:`run_sweep` stops at the first
+failure unless ``keep_going=True``, and :func:`failed_points` counts the
+error rows so the CLI can exit non-zero either way.  Scenario exceptions
+are themselves simulation-deterministic, so error rows hash like any
+other row.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ from repro.sweep.grid import SweepPoint
 
 __all__ = [
     "CSV_HEADER",
+    "error_rows",
+    "failed_points",
     "run_point",
     "run_sweep",
     "rows_to_csv",
@@ -78,8 +89,42 @@ def point_rows(point: SweepPoint, result: dict) -> list:
     return rows
 
 
+def error_rows(point: SweepPoint, exc: BaseException) -> list:
+    """The in-band failure marker for one raised sweep point.
+
+    A single ``error=1`` row keyed like every other metric: downstream
+    consumers (``summarize``, :func:`failed_points`, plotting scripts)
+    see *that* the point ran and failed without any out-of-band channel,
+    and the row hashes deterministically because scenario exceptions are
+    simulation-derived.
+    """
+    del exc  # identity comes from the point; the detail goes to the log
+    return [
+        (
+            point.scenario,
+            point.profile,
+            point.system,
+            str(point.n),
+            str(point.seed),
+            "error",
+            "1",
+        )
+    ]
+
+
+def failed_points(rows: Iterable[tuple]) -> int:
+    """Count the distinct points that contributed an ``error`` row."""
+    return sum(1 for row in rows if row[5] == "error")
+
+
 def run_point(point: SweepPoint) -> list:
-    """Execute one sweep point and return its metric rows."""
+    """Execute one sweep point and return its metric rows.
+
+    Rapid harnesses carry an always-on safety-invariant ledger; its check
+    count is injected as an ``invariant_checks`` metric when the scenario
+    did not already report one, so every sweep row set certifies how many
+    view installations the monitor validated for that run.
+    """
     try:
         fn = scenarios.SCENARIO_FUNCTIONS[point.scenario]
     except KeyError:
@@ -88,18 +133,50 @@ def run_point(point: SweepPoint) -> list:
             f"{sorted(scenarios.SCENARIO_FUNCTIONS)}"
         )
     result = fn(point.system, point.n, seed=point.seed, **point.call_kwargs())
+    ledger = getattr(result.get("harness"), "ledger", None)
+    if ledger is not None and "invariant_checks" not in result:
+        result = dict(result)
+        result["invariant_checks"] = ledger.records
     return point_rows(point, result)
 
 
 def run_sweep(
     points: Sequence[SweepPoint],
     log: Optional[Callable[[str], None]] = None,
+    keep_going: bool = False,
 ) -> list:
-    """Run every point in order; returns all rows (grid order preserved)."""
+    """Run every point in order; returns all rows (grid order preserved).
+
+    A point whose scenario raises contributes its :func:`error_rows`
+    marker instead of metric rows.  With ``keep_going=False`` (the
+    default) the sweep stops at the first failed point — the rows
+    gathered so far, error marker included, are still returned so the
+    caller can write a partial CSV; with ``keep_going=True`` the
+    remaining points run and every failure is marked.  Either way the
+    caller decides the exit status via :func:`failed_points`.
+    """
+    for point in points:
+        if point.scenario not in scenarios.SCENARIO_FUNCTIONS:
+            # Grid mistakes are usage errors, not per-point failures.
+            raise ValueError(
+                f"unknown scenario {point.scenario!r}; choose from "
+                f"{sorted(scenarios.SCENARIO_FUNCTIONS)}"
+            )
     rows: list = []
     for i, point in enumerate(points):
         started = time.perf_counter()
-        point_result = run_point(point)
+        try:
+            point_result = run_point(point)
+        except Exception as exc:
+            rows.extend(error_rows(point, exc))
+            if log is not None:
+                log(
+                    f"[{i + 1}/{len(points)}] {point.name}: "
+                    f"ERROR {type(exc).__name__}: {exc}"
+                )
+            if not keep_going:
+                break
+            continue
         rows.extend(point_result)
         if log is not None:
             wall = time.perf_counter() - started

@@ -23,6 +23,7 @@ class TestSpecs:
             "crash",
             "join_churn",
             "packet_loss",
+            "adversary",
             "service_discovery",
             "txn_platform",
         }
@@ -93,6 +94,54 @@ class TestRunner:
         case = runner.run_case(BenchSpec("bootstrap", "rapid", 8, seed=1)).to_json()
         assert case["alloc_peak_bytes"] > 0
         assert case["peak_rss_kb"] is None or case["peak_rss_kb"] > 0
+
+    def test_invariants_block_certifies_checked_views(self, case):
+        payload = case.to_json()
+        assert payload["invariants"]["ok"] is True
+        assert payload["invariants"]["checked"] > 0
+        assert payload["invariants"]["nodes"] == 8
+
+    def test_invariants_harvest_can_be_disabled(self):
+        runner = BenchRunner(log=None, check_invariants=False)
+        case = runner.run_case(BenchSpec("bootstrap", "rapid", 8, seed=1))
+        assert "invariants" not in case.to_json()
+
+    def test_adversary_counts_surface_in_by_class(self):
+        runner = BenchRunner(log=None)
+        case = runner.run_case(
+            BenchSpec(
+                "adversary",
+                "rapid",
+                16,
+                seed=1,
+                params={"profile": "dup_reorder", "fault_at": 5.0, "observe_for": 20.0},
+            )
+        )
+        by_class = case.messages["by_class"]
+        assert sum(row.get("duplicates", 0) for row in by_class.values()) > 0
+        assert sum(row.get("reordered", 0) for row in by_class.values()) > 0
+        # Untouched runs keep the exact two-key row shape (schema-additive).
+        clean = runner.run_case(BenchSpec("bootstrap", "rapid", 8, seed=1))
+        assert all(
+            set(row) == {"messages", "bytes"}
+            for row in clean.messages["by_class"].values()
+        )
+
+    def test_partition_heal_case_runs_and_renders(self):
+        runner = BenchRunner(log=None)
+        case = runner.run_case(
+            BenchSpec(
+                "partition_heal",
+                "rapid",
+                16,
+                seed=1,
+                params={"fraction": 0.2, "partition_for": 30.0},
+            )
+        )
+        assert case.result["rejoined"] == case.result["minority"]
+        assert case.result["minority_installs_during_partition"] == 0
+        assert case.invariants["ok"] is True
+        assert "rejoined=" in render_report([case])
 
     def test_render_report_mentions_every_case(self):
         runner = BenchRunner(log=None)
@@ -165,6 +214,14 @@ class TestCli:
         assert "bootstrap/rapid/n2000/s1" in names
         assert "crash/rapid/n2000/s1/failures=16" in names
         assert any(name.startswith("crash/rapid/n512") for name in names)
+        assert any(name.startswith("partition_heal/rapid/n1000") for name in names)
+
+    def test_quick_suite_gates_the_message_adversary(self):
+        names = [spec.name for spec in suite_specs("quick")]
+        assert any(
+            name.startswith("adversary/") and "profile=dup_reorder" in name
+            for name in names
+        )
 
     def test_quick_suite_gates_gossip_consensus(self):
         names = [spec.name for spec in suite_specs("quick")]

@@ -17,6 +17,7 @@ from repro.sim.faults import (
     AmbientLoss,
     Blackhole,
     CrashSchedule,
+    Duplicate,
     EgressDelay,
     EgressLoss,
     FlipFlopCrash,
@@ -26,6 +27,7 @@ from repro.sim.faults import (
     PairLoss,
     Partition,
     ProcessDelay,
+    Reorder,
     ScheduledAction,
     rack_assignment,
     rack_members,
@@ -77,6 +79,16 @@ class TestValidation:
             IngressDelay(nodes=nodes, delay=-0.5)
         with pytest.raises(ValueError, match="jitter"):
             IngressDelay(nodes=nodes, delay=0.5, jitter=-0.1)
+
+    def test_adversary_rule_validation(self):
+        with pytest.raises(ValueError, match="copies"):
+            Duplicate(probability=0.5, copies=0)
+        with pytest.raises(ValueError, match="probability"):
+            Duplicate(probability=1.5)
+        with pytest.raises(ValueError, match="delay"):
+            Reorder(probability=0.5, delay=-1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            Reorder(probability=0.5, delay=0.5, jitter=-0.1)
 
     def test_scheduled_action_verb_checked(self):
         with pytest.raises(ValueError, match="unknown action"):
@@ -265,6 +277,236 @@ class TestDelayRules:
         assert rule.adds_delay
         assert rule.drop_probability(a, b) == 0.0
         assert not rule.should_drop(a, b, 0.0, None)  # rng never consulted
+
+
+class TestBoundarySemantics:
+    """Half-open ``[start, end)`` edges at *simultaneous* timestamps.
+
+    The activity-window tests above check ``active()`` in isolation; these
+    pin what happens when a message crosses the network at exactly a
+    rule's boundary instant, when two windows abut, and when a
+    :class:`ScheduledAction` shares a timestamp with a rule edge.
+    """
+
+    def test_abutting_windows_have_no_overlap_and_no_gap(self):
+        first = AmbientLoss(probability=1.0, start=10.0, end=20.0)
+        second = AmbientLoss(probability=1.0, start=20.0, end=30.0)
+        for t, active in ((19.999, (True, False)), (20.0, (False, True))):
+            assert (first.active(t), second.active(t)) == active
+        # Exactly one of the two covers every instant of [10, 30).
+        assert all(
+            first.active(t) != second.active(t)
+            for t in (10.0, 15.0, 19.999, 20.0, 25.0, 29.999)
+        )
+
+    def test_zero_width_window_is_never_active(self):
+        # end == start is tolerated at construction (only end < start is
+        # an error) and means "never": the half-open window is empty.
+        rule = AmbientLoss(probability=1.0, start=10.0, end=10.0)
+        assert not rule.active(10.0)
+
+    def test_message_sent_exactly_at_rule_edges(self):
+        # A message entering the fabric at exactly ``start`` is subject to
+        # the rule; one entering at exactly ``end`` is not.
+        engine, network = make_network()
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.append(m.seq))
+        network.add_rule(AmbientLoss(probability=1.0, start=5.0, end=9.0))
+        engine.schedule_at(5.0, network.send, a, b, probe(a, seq=1))  # dropped
+        engine.schedule_at(8.999, network.send, a, b, probe(a, seq=2))  # dropped
+        engine.schedule_at(9.0, network.send, a, b, probe(a, seq=3))  # delivered
+        engine.run()
+        assert got == [3]
+
+    def test_scheduled_action_at_a_rule_boundary_instant(self):
+        # A netup action and a rule's end sharing one timestamp: both the
+        # recovery and the rule expiry take effect for a message sent at
+        # that same instant — no one-tick shadow where either lingers.
+        engine, network = make_network()
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.append(m.seq))
+        network.add_rule(AmbientLoss(probability=1.0, start=0.0, end=10.0))
+        action = ScheduledAction(10.0, "netup", (b,))
+        network.crash(b)
+        engine.schedule_at(
+            action.time, lambda: [network.recover(ep) for ep in action.nodes]
+        )
+        engine.schedule_at(10.0, network.send, a, b, probe(a, seq=1))
+        engine.run()
+        assert got == [1]
+
+    def test_partition_directionality_with_partial_probability(self):
+        # probability < 1.0 must not change *which* directions match —
+        # only how often matching packets drop.
+        a, b, c, d = endpoints(4)
+        partial = Partition(
+            group_a=frozenset({a, b}),
+            group_b=frozenset({c, d}),
+            probability=0.5,
+        )
+        assert partial.matches(a, c) and partial.matches(c, a)
+        assert not partial.matches(a, b) and not partial.matches(c, d)
+        assert partial.drop_probability(a, c) == 0.5
+        assert partial.drop_probability(c, a) == 0.5
+        one_way = Partition(
+            group_a=frozenset({a, b}),
+            group_b=frozenset({c, d}),
+            one_way=True,
+            probability=0.5,
+        )
+        assert one_way.matches(a, c)
+        assert not one_way.matches(c, a)  # reverse never matches, any p
+
+    def test_partial_one_way_partition_losses_are_asymmetric(self):
+        # End to end: a 50% one-way partition thins a->c traffic but
+        # leaves the reverse direction untouched.
+        engine, network = make_network(seed=9)
+        a, c = endpoints(2)
+        got = {a: 0, c: 0}
+        network.register(a, lambda s, m: got.__setitem__(a, got[a] + 1))
+        network.register(c, lambda s, m: got.__setitem__(c, got[c] + 1))
+        network.add_rule(
+            Partition(
+                group_a=frozenset({a}),
+                group_b=frozenset({c}),
+                one_way=True,
+                probability=0.5,
+            )
+        )
+        for seq in range(200):
+            network.send(a, c, probe(a, seq=seq))
+            network.send(c, a, probe(c, seq=seq))
+        engine.run()
+        assert got[a] == 200  # reverse direction untouched
+        assert 0 < got[c] < 200  # forward direction thinned, not severed
+
+
+class TestAdversaryRules:
+    def test_duplicate_delivers_extra_copies(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.append(m.seq))
+        network.add_rule(Duplicate(probability=1.0, copies=2))
+        network.send(a, b, probe(a, seq=1))
+        engine.run()
+        assert got == [1, 1, 1]  # original + 2 fabricated copies
+        assert network.sent_messages == 1  # fabricated, not transmitted
+        assert network.delivered_messages == 3
+        assert network.duplicate_counts == {"Probe": 2}
+
+    def test_reorder_holds_delivery(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        arrivals = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: arrivals.append((m.seq, engine.now)))
+        network.add_rule(Reorder(probability=1.0, delay=0.5, jitter=0.0))
+        network.send(a, b, probe(a, seq=1))
+        engine.run()
+        assert arrivals == [(1, pytest.approx(0.501))]
+        assert network.reorder_counts == {"Probe": 1}
+        assert network.dropped_messages == 0
+
+    def test_held_message_is_overtaken_by_a_later_send(self):
+        # The observable reordering: message 1 is held, message 2 is not,
+        # so 2 arrives first even though 1 entered the fabric earlier.
+        engine, network = make_network()
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.append(m.seq))
+        network.add_rule(
+            Reorder(probability=1.0, delay=1.0, jitter=0.0, end=0.5)
+        )
+        network.send(a, b, probe(a, seq=1))  # held for +1s
+        engine.schedule_at(0.6, network.send, a, b, probe(a, seq=2))
+        engine.run()
+        assert got == [2, 1]
+
+    def test_scoped_adversary_only_touches_its_nodes(self):
+        engine, network = make_network()
+        a, b, c = endpoints(3)
+        got = {b: 0, c: 0}
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.__setitem__(b, got[b] + 1))
+        network.register(c, lambda s, m: got.__setitem__(c, got[c] + 1))
+        network.add_rule(Duplicate(nodes=frozenset({b}), probability=1.0))
+        network.send(a, b, probe(a, seq=1))
+        network.send(a, c, probe(a, seq=2))
+        engine.run()
+        assert got == {b: 2, c: 1}
+
+    def test_broadcast_duplicates_per_destination(self):
+        engine, network = make_network()
+        a, b, c = endpoints(3)
+        got = {b: 0, c: 0}
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.__setitem__(b, got[b] + 1))
+        network.register(c, lambda s, m: got.__setitem__(c, got[c] + 1))
+        network.add_rule(Duplicate(probability=1.0, copies=1))
+        network.broadcast(a, [b, c], probe(a))
+        engine.run()
+        assert got == {b: 2, c: 2}
+        assert network.duplicate_counts == {"Probe": 2}
+
+    def test_inactive_adversary_rule_does_nothing(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.append(engine.now))
+        network.add_rule(Duplicate(probability=1.0, start=100.0))
+        network.add_rule(Reorder(probability=1.0, delay=5.0, start=100.0))
+        network.send(a, b, probe(a))
+        engine.run()
+        assert got == [pytest.approx(0.001)]
+        assert network.duplicate_counts == {}
+        assert network.reorder_counts == {}
+
+    def test_remove_and_clear_uninstall_adversary_rules(self):
+        engine, network = make_network()
+        a, b = endpoints(2)
+        got = []
+        network.register(a, lambda s, m: None)
+        network.register(b, lambda s, m: got.append(m.seq))
+        rule = network.add_rule(Duplicate(probability=1.0))
+        network.remove_rule(rule)
+        network.add_rule(Reorder(probability=1.0, delay=9.0, jitter=0.0))
+        network.clear_rules()
+        network.send(a, b, probe(a, seq=1))
+        engine.run()
+        assert got == [1]
+
+    def test_adversary_stream_does_not_perturb_other_traffic(self):
+        # The drop pattern and the originals' latencies are byte-identical
+        # with and without an adversary installed: its draws come from a
+        # dedicated RNG stream, and fabricated copies sample their latency
+        # from that same stream.
+        def run(with_adversary):
+            engine, network = make_network(seed=7)
+            a, b = endpoints(2)
+            got = []
+            network.register(a, lambda s, m: None)
+            network.register(b, lambda s, m: got.append(m.seq))
+            network.add_rule(AmbientLoss(probability=0.5))
+            if with_adversary:
+                network.add_rule(Duplicate(probability=0.3))
+                network.add_rule(Reorder(probability=0.3, delay=0.2))
+            for seq in range(200):
+                network.send(a, b, probe(a, seq=seq))
+            engine.run()
+            return got
+
+        baseline = run(False)
+        adversaried = run(True)
+        assert sorted(set(adversaried)) == sorted(baseline)
+        assert len(adversaried) > len(baseline)  # duplicates landed
 
 
 class TestDeterminism:

@@ -314,6 +314,9 @@ class _FakeJoiner:
         self.seeds = (endpoint_for(99),)
         self._delta_base = None
 
+    def metadata_tuple(self):
+        return ()
+
 
 class TestRetryBehavior:
     def test_retry_jitter_spreads_timeouts(self):
@@ -352,6 +355,85 @@ class TestRetryBehavior:
             )
         )
         assert protocol._config_id is None
+
+
+class TestDuplicateIdempotency:
+    """Regression tests for join-path bugs shaken out by the message
+    adversary: network-level duplicates must not amplify join traffic."""
+
+    def test_duplicate_join_request_enqueues_one_alert(self):
+        from repro.core.messages import JoinRequest
+
+        cluster = converged_cluster(6)
+        joiner = endpoint_for(77)
+        # Pick a member that actually observes the joiner in the current
+        # topology (others answer CONFIG_CHANGED and never alert).
+        node = next(
+            n
+            for n in cluster.nodes.values()
+            if tuple(n.topology.observer_rings(n.addr, joiner))
+        )
+        msg = JoinRequest(
+            sender=joiner,
+            uuid=123456,
+            config_id=node.config.config_id,
+            metadata=(),
+            base_config_id=0,
+        )
+        node._on_join_request(joiner, msg)
+        batched = len(node._alert_batch)
+        assert batched >= 1
+        node._on_join_request(joiner, msg)  # network duplicate
+        assert len(node._alert_batch) == batched
+        assert node._pending_joiners[joiner] == (123456, 0)
+        # A genuinely new incarnation (fresh uuid) must still re-alert.
+        fresh = JoinRequest(
+            sender=joiner,
+            uuid=999999,
+            config_id=node.config.config_id,
+            metadata=(),
+            base_config_id=0,
+        )
+        node._on_join_request(joiner, fresh)
+        assert len(node._alert_batch) == batched + 1
+        assert node._pending_joiners[joiner] == (999999, 0)
+
+    def test_duplicate_safe_to_join_fans_requests_once(self):
+        from repro.core.join import JoinProtocol
+        from repro.core.messages import PreJoinResponse
+        from repro.sim.engine import Engine
+        from repro.sim.process import SimRuntime
+
+        engine = Engine()
+        network = Network(engine, seed=1)
+        sent = []
+        orig_send = network.send
+
+        def send(src, dst, msg):
+            sent.append(type(msg).__name__)
+            orig_send(src, dst, msg)
+
+        network.send = send
+        runtime = SimRuntime(engine, network, endpoint_for(0), seed=1)
+        protocol = JoinProtocol(_FakeJoiner(runtime))
+        protocol.begin()
+        msg = PreJoinResponse(
+            sender=endpoint_for(99),
+            status=JoinStatus.SAFE_TO_JOIN,
+            config_id=42,
+            observers=tuple(endpoint_for(i) for i in (10, 11, 12)),
+        )
+        protocol.on_pre_join_response(msg)
+        assert sent.count("JoinRequest") == 3
+        deadline = protocol._timeout_handle._event.time
+        protocol.on_pre_join_response(msg)  # network duplicate
+        assert sent.count("JoinRequest") == 3  # not re-fanned
+        assert protocol._timeout_handle._event.time == deadline  # not re-armed
+        # A later attempt (the in-flight id was cleared by a restart)
+        # fans out again.
+        protocol._config_id = None
+        protocol.on_pre_join_response(msg)
+        assert sent.count("JoinRequest") == 6
 
 
 class TestSnapshotSizing:

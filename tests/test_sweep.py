@@ -7,6 +7,7 @@ import pytest
 from repro.sweep.grid import SweepPoint, expand_grid, parse_grid
 from repro.sweep.runner import (
     CSV_HEADER,
+    failed_points,
     point_rows,
     rows_to_csv,
     run_point,
@@ -139,6 +140,64 @@ class TestDeterminism:
             parse_grid(TINY_GRID.replace("seeds=1,2", "seeds=3,4"))
         )
         assert sweep_hash(base) != sweep_hash(shifted)
+
+
+class TestFailureAccounting:
+    # partition_heal requires a Rapid harness, so pointing it at
+    # memberlist raises deterministically — a cheap stand-in for any
+    # scenario failure (including a safety InvariantViolation).
+    FAILING = SweepPoint("partition_heal", "memberlist", 8, 1)
+    GOOD = SweepPoint("bootstrap", "rapid", 8, 1)
+
+    def test_failed_point_yields_error_row_and_stops(self):
+        rows = run_sweep([self.FAILING, self.GOOD])
+        assert rows == [
+            ("partition_heal", "-", "memberlist", "8", "1", "error", "1")
+        ]
+        assert failed_points(rows) == 1
+
+    def test_keep_going_runs_the_remaining_points(self):
+        rows = run_sweep([self.FAILING, self.GOOD], keep_going=True)
+        assert failed_points(rows) == 1
+        metrics = {row[5] for row in rows if row[0] == "bootstrap"}
+        assert "convergence_time" in metrics
+
+    def test_error_rows_are_deterministic(self):
+        first = run_sweep([self.FAILING, self.GOOD], keep_going=True)
+        second = run_sweep([self.FAILING, self.GOOD], keep_going=True)
+        assert sweep_hash(first) == sweep_hash(second)
+
+    def test_unknown_scenario_is_a_usage_error_not_an_error_row(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_sweep([SweepPoint("nope", "rapid", 4, 1)], keep_going=True)
+
+    def test_invariant_checks_injected_for_rapid_points(self):
+        rows = run_point(self.GOOD)
+        by_metric = {row[5]: row[6] for row in rows}
+        assert int(by_metric["invariant_checks"]) > 0
+
+    def test_cli_exits_nonzero_and_writes_error_rows(self, tmp_path, capsys):
+        grid = "scenario=partition_heal;system=memberlist;n=8;seed=1"
+        out = tmp_path / "sweep.csv"
+        assert sweep_main(["--grid", grid, "--quiet", "--out", str(out)]) == 1
+        assert "error,1" in out.read_text()
+        assert "errored" in capsys.readouterr().err
+
+    def test_cli_keep_going_still_exits_nonzero(self, tmp_path):
+        grid = json.dumps(
+            [
+                {"scenario": "partition_heal", "system": "memberlist", "n": 8},
+                {"scenario": "bootstrap", "system": "rapid", "n": 8},
+            ]
+        )
+        out = tmp_path / "sweep.csv"
+        code = sweep_main(
+            ["--grid", grid, "--quiet", "--keep-going", "--out", str(out)]
+        )
+        assert code == 1
+        text = out.read_text()
+        assert "error,1" in text
+        assert "convergence_time" in text
 
 
 class TestCli:
